@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Array Bechamel Benchmark Graphcore Hashtbl Instance Lazy List Maxtruss Measure Printf Staged Test Time Toolkit Truss

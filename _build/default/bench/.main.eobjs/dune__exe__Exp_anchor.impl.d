@@ -1,0 +1,1 @@
+bench/exp_anchor.ml: Exp_common List Maxtruss Printf

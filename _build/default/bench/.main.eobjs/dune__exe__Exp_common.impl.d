@@ -1,0 +1,1 @@
+bench/exp_common.ml: Datasets Graphcore Hashtbl List Printf String Unix

@@ -1,0 +1,1 @@
+bench/exp_core_vs_truss.ml: Exp_common Kcore List Maxtruss Printf

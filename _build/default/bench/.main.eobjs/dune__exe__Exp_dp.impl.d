@@ -1,0 +1,1 @@
+bench/exp_dp.ml: Array Exp_common Graphcore List Maxtruss Printf Truss

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Exp_common List Maxtruss Printf

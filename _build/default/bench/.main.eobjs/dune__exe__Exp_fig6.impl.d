@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Exp_common Graphcore List Maxtruss Truss

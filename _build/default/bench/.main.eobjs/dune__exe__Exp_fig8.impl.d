@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Exp_common Graphcore Hashtbl List Maxtruss Option Printf Truss

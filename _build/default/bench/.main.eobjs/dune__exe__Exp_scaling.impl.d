@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Array Exp_common Flow Graphcore List Maxtruss Printf Truss

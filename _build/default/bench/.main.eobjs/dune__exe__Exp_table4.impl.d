@@ -1,0 +1,1 @@
+bench/exp_table4.ml: Datasets Exp_common Graphcore List Maxtruss Printf

@@ -1,0 +1,1 @@
+bench/exp_weighted.ml: Exp_common List Maxtruss Printf

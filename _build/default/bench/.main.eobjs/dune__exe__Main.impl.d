@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Exp_anchor Exp_common Exp_core_vs_truss Exp_dp Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig8 Exp_scaling Exp_table4 Exp_weighted List Printf String Sys Unix

@@ -1,0 +1,137 @@
+(* Bechamel micro-benchmarks: one Test.make per paper artifact, each
+   exercising the computational core of that table/figure at a miniature
+   scale so the statistics converge in seconds.  The full-scale experiment
+   harness (exp_*.ml) prints the actual paper-shaped tables; this suite
+   measures the kernels' per-iteration cost. *)
+
+open Bechamel
+open Toolkit
+
+let small_graph =
+  lazy
+    (let rng = Graphcore.Rng.create 21 in
+     let base = Graphcore.Gen.powerlaw_cluster ~rng ~n:300 ~m:5 ~p:0.6 in
+     Graphcore.Gen.with_communities ~rng ~base ~communities:8 ~size_min:8 ~size_max:12
+       ~drop:0.3)
+
+let k = 6
+
+(* Table IV kernel: one full PCFR run on a small graph. *)
+let test_table4 =
+  Test.make ~name:"table4/pcfr_small"
+    (Staged.stage (fun () ->
+         let g = Lazy.force small_graph in
+         ignore (Maxtruss.Pcfr.pcfr ~g ~k ~budget:20 ())))
+
+(* Fig. 4/5 kernel: a CBTM run (the baseline sweeps repeat this shape). *)
+let test_fig45 =
+  Test.make ~name:"fig4-5/cbtm_small"
+    (Staged.stage (fun () ->
+         let g = Lazy.force small_graph in
+         ignore (Maxtruss.Baselines.cbtm ~g ~k ~budget:20)))
+
+(* Fig. 6(a) kernel: random interpolation of one component. *)
+let test_fig6a =
+  Test.make ~name:"fig6a/random_interp"
+    (Staged.stage (fun () ->
+         let g = Lazy.force small_graph in
+         let dec = Truss.Decompose.run g in
+         match Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k with
+         | [] -> ()
+         | comp :: _ ->
+           let ctx = Maxtruss.Score.make_ctx g ~k in
+           let lctx = Maxtruss.Score.local_ctx ctx ~component:comp in
+           ignore
+             (Maxtruss.Random_interp.interpolate ~rng:(Graphcore.Rng.create 3) ~ctx:lctx
+                ~component:comp ~budget:10 ~repeats:10 ~forbidden:g ())))
+
+(* Fig. 6(b) kernel: onion peel + DAG construction. *)
+let test_fig6b =
+  Test.make ~name:"fig6b/block_dag"
+    (Staged.stage (fun () ->
+         let g = Lazy.force small_graph in
+         let dec = Truss.Decompose.run g in
+         match Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k with
+         | [] -> ()
+         | comp :: _ ->
+           let ctx = Maxtruss.Score.make_ctx g ~k in
+           let h =
+             Truss.Onion.build_h ~g ~backdrop:ctx.Maxtruss.Score.old_truss ~candidates:comp
+           in
+           let onion = Truss.Onion.peel ~h:(Graphcore.Graph.copy h) ~k ~candidates:comp in
+           ignore (Maxtruss.Block_dag.build ~h ~dec ~k ~component:comp ~onion)))
+
+(* Table V / Fig. 7 kernels: the three DPs on a fixed synthetic menu set. *)
+let menus =
+  lazy
+    (let rng = Graphcore.Rng.create 9 in
+     Array.init 200 (fun _ ->
+         let rec build cost score acc n =
+           if n = 0 then List.rev acc
+           else begin
+             let cost = cost + 1 + Graphcore.Rng.int rng 3 in
+             let score = score + 1 + Graphcore.Rng.int rng 8 in
+             let inserted =
+               List.init cost (fun i -> Graphcore.Edge_key.make (40000 + i) (80000 + i))
+             in
+             build cost score ({ Maxtruss.Plan.inserted; cost; score } :: acc) (n - 1)
+           end
+         in
+         build 0 0 [] 4))
+
+let test_table5_sequential =
+  Test.make ~name:"table5/sequential_dp"
+    (Staged.stage (fun () ->
+         ignore (Maxtruss.Dp.sequential ~revenues:(Lazy.force menus) ~budget:100)))
+
+let test_table5_sorted =
+  Test.make ~name:"table5/sorted_dp"
+    (Staged.stage (fun () ->
+         ignore (Maxtruss.Dp.sorted ~revenues:(Lazy.force menus) ~budget:100)))
+
+let test_fig7_binary =
+  Test.make ~name:"fig7/binary_dp"
+    (Staged.stage (fun () ->
+         ignore (Maxtruss.Dp.binary ~revenues:(Lazy.force menus) ~budget:100)))
+
+(* Fig. 8 kernel: full conversion of one component. *)
+let test_fig8 =
+  Test.make ~name:"fig8/complete_conversion"
+    (Staged.stage (fun () ->
+         let g = Lazy.force small_graph in
+         let dec = Truss.Decompose.run g in
+         match Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k with
+         | [] -> ()
+         | comp :: _ ->
+           let ctx = Maxtruss.Score.make_ctx g ~k in
+           ignore (Maxtruss.Convert.convert ~ctx ~target:comp ())))
+
+let benchmark () =
+  let tests =
+    [
+      test_table4;
+      test_fig45;
+      test_fig6a;
+      test_fig6b;
+      test_table5_sequential;
+      test_table5_sorted;
+      test_fig7_binary;
+      test_fig8;
+    ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name result ->
+          let stats =
+            Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+              Instance.monotonic_clock result
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    tests

@@ -1,0 +1,60 @@
+(* Shared infrastructure for the experiment harness: dataset caching,
+   wall-clock timing, and fixed-width table printing that mirrors the
+   layout of the paper's tables and figure series. *)
+
+let datasets_cache : (string, Graphcore.Graph.t) Hashtbl.t = Hashtbl.create 9
+
+let dataset name =
+  match Hashtbl.find_opt datasets_cache name with
+  | Some g -> g
+  | None ->
+    let spec = Datasets.Registry.find name in
+    let g = spec.Datasets.Registry.build () in
+    Hashtbl.replace datasets_cache name g;
+    g
+
+let default_k name = (Datasets.Registry.find name).Datasets.Registry.default_k
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let header title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let row fmt = Printf.printf fmt
+
+let hline width = print_endline (String.make width '-')
+
+(* Column-formatted series printer: one row per x value. *)
+let print_series ~x_label ~x_values ~columns =
+  let w = 12 in
+  Printf.printf "%-10s" x_label;
+  List.iter (fun (name, _) -> Printf.printf "%*s" w name) columns;
+  print_newline ();
+  hline (10 + (w * List.length columns));
+  List.iteri
+    (fun i x ->
+      Printf.printf "%-10s" x;
+      List.iter
+        (fun (_, values) ->
+          match List.nth_opt values i with
+          | Some v -> Printf.printf "%*s" w v
+          | None -> Printf.printf "%*s" w "-")
+        columns;
+      print_newline ())
+    x_values;
+  flush stdout
+
+let fmt_time t = Printf.sprintf "%.2fs" t
+
+let fmt_int = string_of_int
+
+(* Quick mode shrinks grids so the whole harness stays in CI-friendly
+   territory; full mode reproduces the paper's ranges. *)
+type mode = Quick | Full
+
+let mode = ref Quick
+
+let pick ~quick ~full = match !mode with Quick -> quick | Full -> full

@@ -1,0 +1,41 @@
+(* Figure 4 — score (left) and running time (right) of CBTM, PCFR, PCF and
+   PCR while varying the budget b on the Syracuse56 stand-in.
+
+   Expected shape (paper): PCFR matches or beats CBTM everywhere; the gap
+   opens at very small b (partial plans) and at very large b (CBTM
+   flatlines once the (k-1)-class is exhausted while PCFR descends to
+   (k-h)-classes); conversion rate score/b decreases with b. *)
+
+let run () =
+  Exp_common.header "Exp-II / Fig. 4: varying budget b (syracuse56)";
+  let g = Exp_common.dataset "syracuse56" in
+  let k = Exp_common.default_k "syracuse56" in
+  let budgets = Exp_common.pick ~quick:[ 10; 40; 160; 640 ] ~full:[ 10; 40; 160; 640; 2560 ] in
+  let algs =
+    [
+      ("CBTM", fun b -> Maxtruss.Baselines.cbtm ~g ~k ~budget:b);
+      ("PCFR", fun b -> (Maxtruss.Pcfr.pcfr ~g ~k ~budget:b ()).Maxtruss.Pcfr.outcome);
+      ("PCF", fun b -> (Maxtruss.Pcfr.pcf ~g ~k ~budget:b ()).Maxtruss.Pcfr.outcome);
+      ("PCR", fun b -> (Maxtruss.Pcfr.pcr ~g ~k ~budget:b ()).Maxtruss.Pcfr.outcome);
+    ]
+  in
+  let results =
+    List.map (fun (name, f) -> (name, List.map (fun b -> f b) budgets)) algs
+  in
+  Printf.printf "scores (k = %d):\n" k;
+  Exp_common.print_series ~x_label:"b"
+    ~x_values:(List.map string_of_int budgets)
+    ~columns:
+      (List.map
+         (fun (name, os) ->
+           (name, List.map (fun (o : Maxtruss.Outcome.t) -> string_of_int o.score) os))
+         results);
+  Printf.printf "\nrunning time:\n";
+  Exp_common.print_series ~x_label:"b"
+    ~x_values:(List.map string_of_int budgets)
+    ~columns:
+      (List.map
+         (fun (name, os) ->
+           (name, List.map (fun (o : Maxtruss.Outcome.t) -> Exp_common.fmt_time o.time_s) os))
+         results);
+  print_newline ()

@@ -1,0 +1,39 @@
+(* Figure 5 — score and running time of CBTM, PCFR, PCF and PCR while
+   varying the target trussness k on the Syracuse56 stand-in, b = 200.
+
+   Expected shape (paper): scores have no monotone relationship to k (the
+   k-class structures differ), but the PCFR family dominates CBTM — more
+   visibly at large k where the (k-1)-class is thin and CBTM has few
+   components it can convert; running time broadly decreases with k. *)
+
+let run () =
+  Exp_common.header "Exp-II / Fig. 5: varying k (syracuse56, b = 200)";
+  let g = Exp_common.dataset "syracuse56" in
+  let budget = 200 in
+  let ks = Exp_common.pick ~quick:[ 8; 10; 12; 14 ] ~full:[ 6; 8; 10; 12; 14; 16 ] in
+  let algs =
+    [
+      ("CBTM", fun k -> Maxtruss.Baselines.cbtm ~g ~k ~budget);
+      ("PCFR", fun k -> (Maxtruss.Pcfr.pcfr ~g ~k ~budget ()).Maxtruss.Pcfr.outcome);
+      ("PCF", fun k -> (Maxtruss.Pcfr.pcf ~g ~k ~budget ()).Maxtruss.Pcfr.outcome);
+      ("PCR", fun k -> (Maxtruss.Pcfr.pcr ~g ~k ~budget ()).Maxtruss.Pcfr.outcome);
+    ]
+  in
+  let results = List.map (fun (name, f) -> (name, List.map f ks)) algs in
+  Printf.printf "scores:\n";
+  Exp_common.print_series ~x_label:"k"
+    ~x_values:(List.map string_of_int ks)
+    ~columns:
+      (List.map
+         (fun (name, os) ->
+           (name, List.map (fun (o : Maxtruss.Outcome.t) -> string_of_int o.score) os))
+         results);
+  Printf.printf "\nrunning time:\n";
+  Exp_common.print_series ~x_label:"k"
+    ~x_values:(List.map string_of_int ks)
+    ~columns:
+      (List.map
+         (fun (name, os) ->
+           (name, List.map (fun (o : Maxtruss.Outcome.t) -> Exp_common.fmt_time o.time_s) os))
+         results);
+  print_newline ()

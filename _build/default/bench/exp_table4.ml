@@ -1,0 +1,39 @@
+(* Table IV — Efficiency evaluation: score and running time of RD, GTM,
+   CBTM and PCFR on the nine datasets at their default k, budget 200.
+
+   Expected shape (paper): PCFR achieves the highest score on every
+   dataset; RD is fastest with the lowest scores; GTM is the slowest
+   (timing out on the largest datasets, the paper's "-" entries); PCFR
+   pays moderate extra time over CBTM for its larger plan space. *)
+
+let gtm_limit = 120.0
+
+let run () =
+  Exp_common.header "Exp-I / Table IV: efficiency evaluation (b = 200)";
+  let budget = 200 in
+  let names =
+    Exp_common.pick
+      ~quick:[ "facebook"; "enron"; "brightkite"; "syracuse56"; "gowalla" ]
+      ~full:Datasets.Registry.names
+  in
+  Printf.printf "%-12s %5s | %8s %8s %8s %8s | %9s %9s %9s %9s\n" "network" "k" "RD" "GTM"
+    "CBTM" "PCFR" "t(RD)" "t(GTM)" "t(CBTM)" "t(PCFR)";
+  Exp_common.hline 110;
+  List.iter
+    (fun name ->
+      let g = Exp_common.dataset name in
+      let k = Exp_common.default_k name in
+      let rd = Maxtruss.Baselines.rd ~rng:(Graphcore.Rng.create 7) ~g ~k ~budget in
+      let gtm = Maxtruss.Baselines.gtm ~g ~k ~budget ~time_limit_s:gtm_limit () in
+      let cbtm = Maxtruss.Baselines.cbtm ~g ~k ~budget in
+      let pcfr = (Maxtruss.Pcfr.pcfr ~g ~k ~budget ()).Maxtruss.Pcfr.outcome in
+      let score (o : Maxtruss.Outcome.t) =
+        if o.timed_out && o.score = 0 then "-" else string_of_int o.score
+      in
+      let t (o : Maxtruss.Outcome.t) =
+        if o.timed_out && o.score = 0 then "-" else Exp_common.fmt_time o.time_s
+      in
+      Printf.printf "%-12s %5d | %8s %8s %8s %8s | %9s %9s %9s %9s\n%!" name k (score rd)
+        (score gtm) (score cbtm) (score pcfr) (t rd) (t gtm) (t cbtm) (t pcfr))
+    names;
+  print_newline ()

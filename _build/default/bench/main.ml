@@ -1,0 +1,58 @@
+(* Benchmark harness entry point.
+
+   Default run regenerates every table and figure of the paper's
+   evaluation section on the synthetic dataset stand-ins (quick grid).
+
+     dune exec bench/main.exe                   # all experiments, quick grid
+     dune exec bench/main.exe -- --full         # paper-sized grids (slow)
+     dune exec bench/main.exe -- --only fig4,table5
+     dune exec bench/main.exe -- --bechamel     # Bechamel kernel microbenches
+     dune exec bench/main.exe -- --list *)
+
+let experiments =
+  [
+    ("table4", "Table IV: efficiency evaluation across datasets", Exp_table4.run);
+    ("fig4", "Fig. 4: score/time vs budget b", Exp_fig4.run);
+    ("fig5", "Fig. 5: score/time vs k", Exp_fig5.run);
+    ("fig6a", "Fig. 6(a): PCR vs repetitions r", Exp_fig6.run_a);
+    ("fig6b", "Fig. 6(b): DAG size vs k", Exp_fig6.run_b);
+    ("table5", "Table V + Fig. 7: DP quality and time", Exp_dp.run);
+    ("fig8", "Fig. 8: case study conversion ratios", Exp_fig8.run);
+    ("scaling", "Table III companion: kernel scaling + ablations", Exp_scaling.run);
+    ("corevs", "Motivation companion: truss vs core maximization", Exp_core_vs_truss.run);
+    ("anchorvs", "Related-work companion: anchoring vs edge insertion", Exp_anchor.run);
+    ("weighted", "Extension: weighted insertion budgets", Exp_weighted.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse only = function
+    | [] -> only
+    | "--full" :: rest ->
+      Exp_common.mode := Exp_common.Full;
+      parse only rest
+    | "--quick" :: rest ->
+      Exp_common.mode := Exp_common.Quick;
+      parse only rest
+    | "--bechamel" :: rest ->
+      Bechamel_suite.benchmark ();
+      parse (Some []) rest
+    | "--list" :: rest ->
+      List.iter (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc) experiments;
+      parse (Some []) rest
+    | "--only" :: spec :: rest -> parse (Some (String.split_on_char ',' spec)) rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument: %s\n" arg;
+      exit 2
+  in
+  let only = parse None args in
+  let selected =
+    match only with
+    | None -> experiments
+    | Some [] -> []
+    | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (_, _, run) -> run ()) selected;
+  if selected <> [] then
+    Printf.printf "total harness time: %.1fs\n" (Unix.gettimeofday () -. t0)

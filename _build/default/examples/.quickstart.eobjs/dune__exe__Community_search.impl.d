@@ -1,0 +1,1 @@
+examples/community_search.ml: Gen Graph Graphcore List Maxtruss Printf Rng String Truss

@@ -1,0 +1,1 @@
+examples/dp_playground.ml: Array Dp Format Graphcore List Maxtruss Plan Printf

@@ -1,0 +1,1 @@
+examples/dynamic_stream.ml: Array Edge_key Gen Graph Graphcore Hashtbl List Printf Rng Truss

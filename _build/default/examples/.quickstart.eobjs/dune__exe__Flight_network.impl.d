@@ -1,0 +1,1 @@
+examples/flight_network.ml: Array Gen Graph Graphcore List Maxtruss Printf Rng Truss

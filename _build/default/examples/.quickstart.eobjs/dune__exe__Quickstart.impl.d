@@ -1,0 +1,1 @@
+examples/quickstart.ml: Graph Graphcore List Maxtruss Printf Truss

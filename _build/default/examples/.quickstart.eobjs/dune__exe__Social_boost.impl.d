@@ -1,0 +1,1 @@
+examples/social_boost.ml: Gen Graph Graphcore List Maxtruss Printf Rng String Truss

@@ -1,0 +1,55 @@
+(* The budget-assignment problem in isolation: Example 5 of the paper.
+
+   Three communities offer conversion plans at different budgets —
+   S_A = [3], S_B = [2,4], S_C = [4,5,6] — and a total budget of 5 must be
+   split between them.  The binary DP (CBTM) can only take whole menus'
+   maxima; the Sequential and Sorted DPs mix plan granularities.
+
+     dune exec examples/dp_playground.exe *)
+
+open Maxtruss
+
+let mk cost score =
+  let inserted = List.init cost (fun i -> Graphcore.Edge_key.make (100 + i) (200 + i)) in
+  { Plan.inserted; cost; score }
+
+let revenues =
+  [|
+    Plan.normalize [ mk 1 3 ];
+    Plan.normalize [ mk 1 2; mk 2 4 ];
+    Plan.normalize [ mk 1 4; mk 2 5; mk 3 6 ];
+  |]
+
+let name = [| "A"; "B"; "C" |]
+
+let show label (alloc : Dp.allocation) =
+  Printf.printf "%-12s total score %2d, budget used %d, allocation:" label alloc.Dp.total_score
+    alloc.Dp.total_cost;
+  List.iter
+    (fun (c, (p : Plan.pair)) -> Printf.printf "  %s:%d->%d" name.(c) p.Plan.cost p.Plan.score)
+    (List.sort compare alloc.Dp.chosen);
+  print_newline ()
+
+let () =
+  Printf.printf "menus: A=%s B=%s C=%s, total budget 5\n"
+    (Format.asprintf "%a" Plan.pp revenues.(0))
+    (Format.asprintf "%a" Plan.pp revenues.(1))
+    (Format.asprintf "%a" Plan.pp revenues.(2));
+  let budget = 5 in
+  show "Binary" (Dp.binary ~revenues ~budget);
+  show "Sequential" (Dp.sequential ~revenues ~budget);
+  show "Sorted" (Dp.sorted ~revenues ~budget);
+  show "Brute force" (Dp.brute_force ~revenues ~budget);
+  print_newline ();
+  (* The budget sweep of Tables I and II. *)
+  Printf.printf "score by budget (Table I/II last rows):\n  b        : 1  2  3  4  5\n";
+  let row label dp =
+    Printf.printf "  %-9s:" label;
+    List.iter
+      (fun b -> Printf.printf " %2d" (dp ~revenues ~budget:b).Dp.total_score)
+      [ 1; 2; 3; 4; 5 ];
+    print_newline ()
+  in
+  row "binary" Dp.binary;
+  row "sequential" Dp.sequential;
+  row "sorted" Dp.sorted

@@ -1,0 +1,1 @@
+lib/datasets/registry.ml: Gen Graph Graphcore List Rng

@@ -1,0 +1,122 @@
+open Graphcore
+
+type spec = {
+  name : string;
+  description : string;
+  default_k : int;
+  scale : [ `Small | `Large ];
+  build : unit -> Graph.t;
+}
+
+let social ~seed ~n ~m ~p ~communities ~size_min ~size_max ~drop () =
+  let rng = Rng.create seed in
+  let base = Gen.powerlaw_cluster ~rng ~n ~m ~p in
+  Gen.with_communities ~rng ~base ~communities ~size_min ~size_max ~drop
+
+let facebook () =
+  social ~seed:101 ~n:1200 ~m:8 ~p:0.7 ~communities:30 ~size_min:12 ~size_max:24 ~drop:0.25 ()
+
+let enron () =
+  social ~seed:102 ~n:4000 ~m:4 ~p:0.4 ~communities:25 ~size_min:10 ~size_max:18 ~drop:0.3 ()
+
+let brightkite () =
+  social ~seed:103 ~n:6000 ~m:4 ~p:0.5 ~communities:40 ~size_min:10 ~size_max:20 ~drop:0.3 ()
+
+let syracuse () =
+  social ~seed:104 ~n:2500 ~m:16 ~p:0.75 ~communities:80 ~size_min:14 ~size_max:28 ~drop:0.25
+    ()
+
+let gowalla () =
+  social ~seed:105 ~n:12000 ~m:5 ~p:0.45 ~communities:120 ~size_min:10 ~size_max:18 ~drop:0.35
+    ()
+
+let twitter () =
+  social ~seed:106 ~n:8000 ~m:10 ~p:0.6 ~communities:60 ~size_min:12 ~size_max:22 ~drop:0.3 ()
+
+let stanford () =
+  let rng = Rng.create 107 in
+  let g = Gen.hierarchical_web ~rng ~pages:15000 ~cluster:20 ~inter:30 in
+  Gen.with_communities ~rng ~base:g ~communities:50 ~size_min:12 ~size_max:20 ~drop:0.3
+
+let wiki_talk () =
+  let rng = Rng.create 108 in
+  let g = Gen.star_heavy ~rng ~n:20000 ~hubs:40 ~m:60000 in
+  Gen.with_communities ~rng ~base:g ~communities:30 ~size_min:10 ~size_max:16 ~drop:0.3
+
+let livejournal () =
+  social ~seed:109 ~n:25000 ~m:6 ~p:0.5 ~communities:200 ~size_min:10 ~size_max:20 ~drop:0.3
+    ()
+
+let all =
+  [
+    {
+      name = "facebook";
+      description = "friendship network stand-in (paper: 4k nodes / 88k edges, k=20)";
+      default_k = 10;
+      scale = `Small;
+      build = facebook;
+    };
+    {
+      name = "enron";
+      description = "email communication stand-in (paper: 37k nodes / 184k edges, k=20)";
+      default_k = 8;
+      scale = `Small;
+      build = enron;
+    };
+    {
+      name = "brightkite";
+      description = "location-social stand-in (paper: 58k nodes / 214k edges, k=20)";
+      default_k = 8;
+      scale = `Small;
+      build = brightkite;
+    };
+    {
+      name = "syracuse56";
+      description = "dense campus social stand-in (paper: 14k nodes / 544k edges, k=20)";
+      default_k = 12;
+      scale = `Small;
+      build = syracuse;
+    };
+    {
+      name = "gowalla";
+      description = "check-in social stand-in (paper: 197k nodes / 950k edges, k=20)";
+      default_k = 8;
+      scale = `Small;
+      build = gowalla;
+    };
+    {
+      name = "twitter";
+      description = "follower-graph stand-in (paper: 81k nodes / 1.8M edges, k=40)";
+      default_k = 10;
+      scale = `Large;
+      build = twitter;
+    };
+    {
+      name = "stanford";
+      description = "web-graph stand-in (paper: 282k nodes / 2.3M edges, k=40)";
+      default_k = 10;
+      scale = `Large;
+      build = stanford;
+    };
+    {
+      name = "wiki-talk";
+      description = "hub-heavy talk-graph stand-in (paper: 2.4M nodes / 5M edges, k=40)";
+      default_k = 7;
+      scale = `Large;
+      build = wiki_talk;
+    };
+    {
+      name = "livejournal";
+      description = "blog-social stand-in (paper: 4M nodes / 34.7M edges, k=40)";
+      default_k = 8;
+      scale = `Large;
+      build = livejournal;
+    };
+  ]
+
+let names = List.map (fun s -> s.name) all
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) all with
+  | Some s -> s
+  | None -> raise Not_found

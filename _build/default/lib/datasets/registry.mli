@@ -1,0 +1,40 @@
+(** The nine evaluation datasets of the paper, as deterministic synthetic
+    stand-ins.
+
+    The paper evaluates on SNAP/NetworkRepository graphs (Facebook, Enron,
+    Brightkite, Syracuse56, Gowalla, Twitter, Stanford, Wiki-Talk,
+    LiveJournal).  Those downloads are unavailable in this sealed
+    environment, so each entry here is a seeded generator producing a graph
+    of the same topology family at laptop scale: power-law clustered social
+    graphs with planted noisy communities, a hierarchical web graph, a
+    hub-dominated communication graph.  What the maximization algorithms
+    feed on — many triangle-connected (k-1)-class components with onion
+    layer structure — is preserved; absolute sizes are scaled down
+    (documented per entry in [description]).
+
+    [default_k] plays the role of the paper's k = 20 / k = 40 settings: a
+    mid-hierarchy truss level with a rich (k-1)-class on the scaled graph. *)
+
+open Graphcore
+
+type spec = {
+  name : string;
+  description : string;
+  default_k : int;
+  scale : [ `Small | `Large ];  (** the paper's small/large dataset split *)
+  build : unit -> Graph.t;  (** deterministic; same graph on every call *)
+}
+
+val all : spec list
+(** The nine datasets, in the paper's Table IV order. *)
+
+val names : string list
+
+val find : string -> spec
+(** Raises [Not_found]. *)
+
+val syracuse : unit -> Graph.t
+(** Shortcut for the parameter-study workhorse (Figs. 4-6). *)
+
+val gowalla : unit -> Graph.t
+(** Shortcut for the DP-comparison workhorse (Table V / Fig. 7). *)

@@ -1,0 +1,1 @@
+lib/flow/flow_network.ml: Array List

@@ -1,0 +1,1 @@
+lib/flow/min_cut.ml: Array Dinic Flow_network Queue

@@ -1,0 +1,1 @@
+lib/flow/min_cut.mli: Flow_network

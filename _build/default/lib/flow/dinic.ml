@@ -1,0 +1,67 @@
+let build_levels net ~s ~t =
+  let n = Flow_network.num_nodes net in
+  let level = Array.make n (-1) in
+  let queue = Queue.create () in
+  level.(s) <- 0;
+  Queue.push s queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Flow_network.iter_arcs_from net v (fun _ (arc : Flow_network.arc) ->
+        if arc.cap > 0 && level.(arc.dst) = -1 then begin
+          level.(arc.dst) <- level.(v) + 1;
+          Queue.push arc.dst queue
+        end)
+  done;
+  if level.(t) = -1 then None else Some level
+
+(* Blocking flow by DFS over the level graph with per-node current-arc lists
+   so saturated arcs are never rescanned within a phase. *)
+let blocking_flow net ~s ~t level =
+  let n = Flow_network.num_nodes net in
+  let current = Array.make n [] in
+  for v = 0 to n - 1 do
+    let acc = ref [] in
+    Flow_network.iter_arcs_from net v (fun id _ -> acc := id :: !acc);
+    current.(v) <- !acc
+  done;
+  let total = ref 0 in
+  let rec dfs v limit =
+    if v = t then limit
+    else begin
+      let pushed = ref 0 in
+      let continue = ref true in
+      while !continue && !pushed = 0 do
+        match current.(v) with
+        | [] -> continue := false
+        | id :: rest ->
+          let arc = Flow_network.arc net id in
+          if arc.cap > 0 && level.(arc.dst) = level.(v) + 1 then begin
+            let sent = dfs arc.dst (min limit arc.cap) in
+            if sent > 0 then begin
+              Flow_network.send net id sent;
+              pushed := sent
+            end
+            else current.(v) <- rest
+          end
+          else current.(v) <- rest
+      done;
+      !pushed
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    let sent = dfs s max_int in
+    if sent = 0 then continue := false else total := !total + sent
+  done;
+  !total
+
+let max_flow net ~s ~t =
+  if s = t then invalid_arg "Dinic.max_flow: source equals sink";
+  let flow = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match build_levels net ~s ~t with
+    | None -> continue := false
+    | Some level -> flow := !flow + blocking_flow net ~s ~t level
+  done;
+  !flow

@@ -1,0 +1,10 @@
+(** Dinic's maximum-flow algorithm.
+
+    Builds level graphs by BFS and saturates them with blocking flows found
+    by DFS with the current-arc optimization; O(V^2 E) in general and far
+    faster on the shallow truss flow graphs (source -> blocks -> sink, plus
+    the block DAG), which have unit-depth layering. *)
+
+val max_flow : Flow_network.t -> s:int -> t:int -> int
+(** Computes the maximum s-t flow, mutating residual capacities in the
+    network.  Returns the flow value. *)

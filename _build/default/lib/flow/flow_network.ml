@@ -1,0 +1,63 @@
+type arc = { dst : int; mutable cap : int }
+
+type t = {
+  nodes : int;
+  mutable arcs : arc array;
+  mutable init_caps : int array;
+  mutable n_arcs : int;
+  out_arcs : int list array; (* arc ids leaving each node, reversed order *)
+}
+
+let create ~nodes =
+  { nodes; arcs = [||]; init_caps = [||]; n_arcs = 0; out_arcs = Array.make (max nodes 1) [] }
+
+let num_nodes t = t.nodes
+
+let grow t =
+  let cap = Array.length t.arcs in
+  if t.n_arcs + 2 > cap then begin
+    let ncap = max 16 (2 * cap) in
+    let narcs = Array.make ncap { dst = 0; cap = 0 } in
+    let ninit = Array.make ncap 0 in
+    Array.blit t.arcs 0 narcs 0 t.n_arcs;
+    Array.blit t.init_caps 0 ninit 0 t.n_arcs;
+    t.arcs <- narcs;
+    t.init_caps <- ninit
+  end
+
+let add_arc t ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Flow_network.add_arc: negative capacity";
+  if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes then
+    invalid_arg "Flow_network.add_arc: node out of range";
+  grow t;
+  let id = t.n_arcs in
+  t.arcs.(id) <- { dst; cap };
+  t.init_caps.(id) <- cap;
+  t.arcs.(id + 1) <- { dst = src; cap = 0 };
+  t.init_caps.(id + 1) <- 0;
+  t.n_arcs <- t.n_arcs + 2;
+  t.out_arcs.(src) <- id :: t.out_arcs.(src);
+  t.out_arcs.(dst) <- (id + 1) :: t.out_arcs.(dst);
+  id
+
+let arc t id = t.arcs.(id)
+
+let send t id amount =
+  let a = t.arcs.(id) in
+  if amount > a.cap then invalid_arg "Flow_network.send: exceeds residual capacity";
+  a.cap <- a.cap - amount;
+  let twin = t.arcs.(id lxor 1) in
+  twin.cap <- twin.cap + amount
+
+let arc_src t id = t.arcs.(id lxor 1).dst
+
+let initial_cap t id = t.init_caps.(id)
+
+let iter_arcs_from t v f = List.iter (fun id -> f id t.arcs.(id)) t.out_arcs.(v)
+
+let num_arcs t = t.n_arcs
+
+let reset t =
+  for id = 0 to t.n_arcs - 1 do
+    t.arcs.(id).cap <- t.init_caps.(id)
+  done

@@ -1,0 +1,44 @@
+(** Directed flow network with integer capacities.
+
+    Arcs are stored in a forward-star of arc ids; each arc carries its
+    residual twin at [id lxor 1], the classic representation for
+    augmenting-path algorithms.  Capacities are plain [int]s — the truss
+    flow graphs only ever hold small sums of edge counts. *)
+
+type t
+
+type arc = private {
+  dst : int;
+  mutable cap : int;  (** remaining residual capacity *)
+}
+
+val create : nodes:int -> t
+(** Network on nodes [0 .. nodes-1] with no arcs. *)
+
+val num_nodes : t -> int
+
+val add_arc : t -> src:int -> dst:int -> cap:int -> int
+(** Adds a forward arc of capacity [cap] and its reverse of capacity [0];
+    returns the forward arc id.  Capacity must be non-negative. *)
+
+val arc : t -> int -> arc
+
+val send : t -> int -> int -> unit
+(** [send net id amount] pushes [amount] units along the arc: decreases its
+    residual capacity and credits the twin.  Raises [Invalid_argument] when
+    [amount] exceeds the residual capacity. *)
+
+val arc_src : t -> int -> int
+(** Source node of the arc (the destination of its twin). *)
+
+val initial_cap : t -> int -> int
+(** Capacity the arc was created with. *)
+
+val iter_arcs_from : t -> int -> (int -> arc -> unit) -> unit
+(** All arc ids (forward and residual) leaving a node. *)
+
+val num_arcs : t -> int
+(** Total stored arcs, twins included. *)
+
+val reset : t -> unit
+(** Restore every arc to its initial capacity (undoes all flow). *)

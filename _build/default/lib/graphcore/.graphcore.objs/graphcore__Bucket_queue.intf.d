@@ -1,0 +1,1 @@
+lib/graphcore/bucket_queue.mli:

@@ -1,0 +1,1 @@
+lib/graphcore/edge_key.mli: Format

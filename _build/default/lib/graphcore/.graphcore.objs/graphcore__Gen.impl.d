@@ -1,0 +1,1 @@
+lib/graphcore/gen.ml: Array Edge_key Graph Rng

@@ -1,0 +1,1 @@
+lib/graphcore/gen.mli: Graph Rng

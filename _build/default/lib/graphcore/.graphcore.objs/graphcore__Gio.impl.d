@@ -1,0 +1,1 @@
+lib/graphcore/gio.ml: Array Edge_key Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graphcore/graph.ml: Array Edge_key Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/graphcore/graph.mli: Edge_key Format

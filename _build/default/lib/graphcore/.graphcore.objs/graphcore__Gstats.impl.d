@@ -1,0 +1,1 @@
+lib/graphcore/gstats.ml: Array Format Graph List Stack

@@ -1,0 +1,1 @@
+lib/graphcore/gstats.mli: Format Graph

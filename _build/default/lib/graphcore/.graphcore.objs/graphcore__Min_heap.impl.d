@@ -1,0 +1,1 @@
+lib/graphcore/min_heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/graphcore/rng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/graphcore/rng.mli:

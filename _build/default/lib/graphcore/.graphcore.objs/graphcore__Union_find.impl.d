@@ -1,0 +1,1 @@
+lib/graphcore/union_find.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/graphcore/union_find.mli: Hashtbl

@@ -1,0 +1,69 @@
+type t = {
+  buckets : (int, unit) Hashtbl.t array;
+  prio : (int, int) Hashtbl.t;
+  mutable cursor : int; (* no non-empty bucket strictly below the cursor *)
+  mutable size : int;
+}
+
+let create ~max_priority =
+  {
+    buckets = Array.init (max_priority + 1) (fun _ -> Hashtbl.create 4);
+    prio = Hashtbl.create 64;
+    cursor = max_priority + 1;
+    size = 0;
+  }
+
+let clamp t p =
+  let n = Array.length t.buckets in
+  if p < 0 then 0 else if p >= n then n - 1 else p
+
+let remove t item =
+  match Hashtbl.find_opt t.prio item with
+  | None -> ()
+  | Some p ->
+    Hashtbl.remove t.prio item;
+    Hashtbl.remove t.buckets.(p) item;
+    t.size <- t.size - 1
+
+let add t item p =
+  let p = clamp t p in
+  remove t item;
+  Hashtbl.replace t.prio item p;
+  Hashtbl.replace t.buckets.(p) item ();
+  t.size <- t.size + 1;
+  if p < t.cursor then t.cursor <- p
+
+let update = add
+
+let priority t item = Hashtbl.find_opt t.prio item
+
+let is_empty t = t.size = 0
+
+let cardinal t = t.size
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let n = Array.length t.buckets in
+    while t.cursor < n && Hashtbl.length t.buckets.(t.cursor) = 0 do
+      t.cursor <- t.cursor + 1
+    done;
+    if t.cursor >= n then None
+    else begin
+      let bucket = t.buckets.(t.cursor) in
+      (* Take an arbitrary element of the minimal bucket. *)
+      let item = ref (-1) in
+      (try
+         Hashtbl.iter
+           (fun k () ->
+             item := k;
+             raise Exit)
+           bucket
+       with Exit -> ());
+      let p = t.cursor in
+      Hashtbl.remove bucket !item;
+      Hashtbl.remove t.prio !item;
+      t.size <- t.size - 1;
+      Some (!item, p)
+    end
+  end

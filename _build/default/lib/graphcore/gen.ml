@@ -1,0 +1,180 @@
+let complete n =
+  let g = Graph.create ~capacity:n () in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      ignore (Graph.add_edge g u v)
+    done
+  done;
+  g
+
+let erdos_renyi ~rng ~n ~m =
+  if n < 2 then invalid_arg "Gen.erdos_renyi: need at least 2 nodes";
+  let max_m = n * (n - 1) / 2 in
+  if m > max_m then invalid_arg "Gen.erdos_renyi: too many edges";
+  let g = Graph.create ~capacity:n () in
+  let added = ref 0 in
+  while !added < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && Graph.add_edge g u v then incr added
+  done;
+  g
+
+(* Preferential attachment with a repeated-endpoint list: each inserted edge
+   pushes both endpoints, so sampling the list is degree-proportional. *)
+type pa_state = { mutable ends : int array; mutable len : int }
+
+let pa_push st v =
+  let cap = Array.length st.ends in
+  if st.len = cap then begin
+    let n = Array.make (max 16 (2 * cap)) 0 in
+    Array.blit st.ends 0 n 0 st.len;
+    st.ends <- n
+  end;
+  st.ends.(st.len) <- v;
+  st.len <- st.len + 1
+
+let pa_sample rng st = st.ends.(Rng.int rng st.len)
+
+let barabasi_albert ~rng ~n ~m =
+  if m < 1 || n <= m then invalid_arg "Gen.barabasi_albert: need n > m >= 1";
+  let g = Graph.create ~capacity:n () in
+  let st = { ends = Array.make 64 0; len = 0 } in
+  (* Seed with a small clique so early sampling is well-defined. *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      if Graph.add_edge g u v then begin
+        pa_push st u;
+        pa_push st v
+      end
+    done
+  done;
+  for u = m + 1 to n - 1 do
+    let attached = ref 0 in
+    let guard = ref 0 in
+    while !attached < m && !guard < 50 * m do
+      incr guard;
+      let v = pa_sample rng st in
+      if v <> u && Graph.add_edge g u v then begin
+        pa_push st u;
+        pa_push st v;
+        incr attached
+      end
+    done
+  done;
+  g
+
+let powerlaw_cluster ~rng ~n ~m ~p =
+  if m < 1 || n <= m then invalid_arg "Gen.powerlaw_cluster: need n > m >= 1";
+  let g = Graph.create ~capacity:n () in
+  let st = { ends = Array.make 64 0; len = 0 } in
+  for u = 0 to m do
+    for v = u + 1 to m do
+      if Graph.add_edge g u v then begin
+        pa_push st u;
+        pa_push st v
+      end
+    done
+  done;
+  for u = m + 1 to n - 1 do
+    let attached = ref 0 in
+    let last = ref (-1) in
+    let guard = ref 0 in
+    while !attached < m && !guard < 50 * m do
+      incr guard;
+      (* Triad closure: link to a neighbor of the previous target, which
+         completes a triangle through [u]. *)
+      let close_triad = !last >= 0 && Rng.float rng < p && Graph.degree g !last > 0 in
+      let v =
+        if close_triad then begin
+          let nbrs = Array.of_list (Graph.neighbors g !last) in
+          Rng.pick rng nbrs
+        end
+        else pa_sample rng st
+      in
+      if v <> u && Graph.add_edge g u v then begin
+        pa_push st u;
+        pa_push st v;
+        last := v;
+        incr attached
+      end
+    done
+  done;
+  g
+
+let watts_strogatz ~rng ~n ~k ~beta =
+  if k < 1 || n <= 2 * k then invalid_arg "Gen.watts_strogatz: need n > 2k";
+  let g = Graph.create ~capacity:n () in
+  for u = 0 to n - 1 do
+    for d = 1 to k do
+      ignore (Graph.add_edge g u ((u + d) mod n))
+    done
+  done;
+  (* Rewire: remove a lattice edge and reconnect one endpoint uniformly. *)
+  let lattice = Graph.edge_array g in
+  Array.iter
+    (fun key ->
+      if Rng.float rng < beta then begin
+        let u, v = Edge_key.endpoints key in
+        if Graph.mem_edge g u v then begin
+          let w = Rng.int rng n in
+          if w <> u && not (Graph.mem_edge g u w) then begin
+            ignore (Graph.remove_edge g u v);
+            ignore (Graph.add_edge g u w)
+          end
+        end
+      end)
+    lattice;
+  g
+
+let planted_noisy_clique ~rng ~g ~members ~drop =
+  let s = Array.length members in
+  for i = 0 to s - 1 do
+    for j = i + 1 to s - 1 do
+      if members.(i) <> members.(j) && Rng.float rng >= drop then
+        ignore (Graph.add_edge g members.(i) members.(j))
+    done
+  done
+
+let with_communities ~rng ~base ~communities ~size_min ~size_max ~drop =
+  let n = Graph.max_node_id base + 1 in
+  if n < size_max then invalid_arg "Gen.with_communities: base graph too small";
+  let ids = Array.init n (fun i -> i) in
+  for _ = 1 to communities do
+    let s = Rng.int_in rng size_min size_max in
+    let members = Rng.sample_without_replacement rng s ids in
+    planted_noisy_clique ~rng ~g:base ~members ~drop
+  done;
+  base
+
+let hierarchical_web ~rng ~pages ~cluster ~inter =
+  if cluster < 3 then invalid_arg "Gen.hierarchical_web: cluster too small";
+  let g = Graph.create ~capacity:pages () in
+  let n_clusters = max 1 (pages / cluster) in
+  for c = 0 to n_clusters - 1 do
+    let base = c * cluster in
+    let members = Array.init cluster (fun i -> base + i) in
+    planted_noisy_clique ~rng ~g ~members ~drop:0.25;
+    for _ = 1 to inter do
+      let u = base + Rng.int rng cluster in
+      let v = Rng.int rng (base + cluster) in
+      if u <> v then ignore (Graph.add_edge g u v)
+    done
+  done;
+  g
+
+let star_heavy ~rng ~n ~hubs ~m =
+  if hubs < 1 || n <= hubs then invalid_arg "Gen.star_heavy: need n > hubs >= 1";
+  let g = Graph.create ~capacity:n () in
+  let added = ref 0 in
+  (* Spokes: most edges touch one of the hub nodes. *)
+  while !added < m * 7 / 10 do
+    let h = Rng.int rng hubs in
+    let v = hubs + Rng.int rng (n - hubs) in
+    if Graph.add_edge g h v then incr added
+  done;
+  (* Sparse periphery. *)
+  while !added < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && Graph.add_edge g u v then incr added
+  done;
+  g

@@ -1,0 +1,50 @@
+let parse_line g line_no line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] = '#' || line.[0] = '%' then ()
+  else
+    let is_ws c = c = ' ' || c = '\t' || c = ',' in
+    let parts =
+      String.split_on_char ' ' (String.map (fun c -> if is_ws c then ' ' else c) line)
+      |> List.filter (fun s -> s <> "")
+    in
+    match parts with
+    | u :: v :: _ -> begin
+      match (int_of_string_opt u, int_of_string_opt v) with
+      | Some u, Some v -> if u <> v then ignore (Graph.add_edge g u v)
+      | _ -> failwith (Printf.sprintf "Gio: malformed line %d: %S" line_no line)
+    end
+    | _ -> failwith (Printf.sprintf "Gio: malformed line %d: %S" line_no line)
+
+let parse_string s =
+  let g = Graph.create () in
+  List.iteri (fun i line -> parse_line g (i + 1) line) (String.split_on_char '\n' s);
+  g
+
+let load path =
+  let ic = open_in path in
+  let g = Graph.create () in
+  let line_no = ref 0 in
+  (try
+     while true do
+       incr line_no;
+       parse_line g !line_no (input_line ic)
+     done
+   with
+  | End_of_file -> close_in ic
+  | e ->
+    close_in ic;
+    raise e);
+  g
+
+let save path g =
+  let oc = open_out path in
+  Printf.fprintf oc "# undirected graph: %d nodes, %d edges\n" (Graph.num_nodes g)
+    (Graph.num_edges g);
+  let keys = Graph.edge_array g in
+  Array.sort compare keys;
+  Array.iter
+    (fun k ->
+      let u, v = Edge_key.endpoints k in
+      Printf.fprintf oc "%d\t%d\n" u v)
+    keys;
+  close_out oc

@@ -1,0 +1,15 @@
+(** Edge-list I/O in the SNAP text format.
+
+    Lines are [u<ws>v]; lines starting with ['#'] or ['%'] are comments;
+    duplicate edges, reversed duplicates and self-loops are ignored on load
+    (SNAP directed graphs become undirected this way, as in the paper). *)
+
+val load : string -> Graph.t
+(** Raises [Sys_error] when the file cannot be read and [Failure] on a
+    malformed line. *)
+
+val save : string -> Graph.t -> unit
+(** Writes a canonical listing ([u < v], sorted) with a header comment. *)
+
+val parse_string : string -> Graph.t
+(** Same parser on an in-memory string — used by tests. *)

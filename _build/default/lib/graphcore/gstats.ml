@@ -1,0 +1,66 @@
+type t = {
+  nodes : int;
+  edges : int;
+  max_degree : int;
+  triangles : int;
+  avg_degree : float;
+  global_clustering : float;
+}
+
+let compute g =
+  let nodes = Graph.num_nodes g and edges = Graph.num_edges g in
+  let max_degree = ref 0 and wedges = ref 0 in
+  Graph.iter_nodes g (fun v ->
+      let d = Graph.degree g v in
+      if d > !max_degree then max_degree := d;
+      wedges := !wedges + (d * (d - 1) / 2));
+  (* Each triangle is seen once per edge; divide by 3. *)
+  let tri3 = ref 0 in
+  Graph.iter_edges g (fun u v -> tri3 := !tri3 + Graph.count_common_neighbors g u v);
+  let triangles = !tri3 / 3 in
+  {
+    nodes;
+    edges;
+    max_degree = !max_degree;
+    triangles;
+    avg_degree = (if nodes = 0 then 0.0 else 2.0 *. float_of_int edges /. float_of_int nodes);
+    global_clustering =
+      (if !wedges = 0 then 0.0 else 3.0 *. float_of_int triangles /. float_of_int !wedges);
+  }
+
+let connected_components g =
+  let n = Graph.max_node_id g + 1 in
+  if n = 0 then [||]
+  else begin
+    let comp = Array.make n (-1) in
+    let next = ref 0 in
+    let stack = Stack.create () in
+    Graph.iter_nodes g (fun v ->
+        if comp.(v) = -1 then begin
+          let id = !next in
+          incr next;
+          Stack.push v stack;
+          comp.(v) <- id;
+          while not (Stack.is_empty stack) do
+            let u = Stack.pop stack in
+            Graph.iter_neighbors g u (fun w ->
+                if comp.(w) = -1 then begin
+                  comp.(w) <- id;
+                  Stack.push w stack
+                end)
+          done
+        end);
+    let members = Array.make !next [] in
+    Graph.iter_nodes g (fun v -> members.(comp.(v)) <- v :: members.(comp.(v)));
+    members
+  end
+
+let largest_component g =
+  Array.fold_left
+    (fun best c -> if List.length c > List.length best then c else best)
+    []
+    (connected_components g)
+
+let pp ppf s =
+  Format.fprintf ppf "n=%d m=%d dmax=%d tri=%d avg_deg=%.2f cc=%.4f" s.nodes s.edges
+    s.max_degree s.triangles s.avg_degree s.global_clustering

@@ -1,0 +1,19 @@
+(** Whole-graph statistics used by dataset reporting and experiments. *)
+
+type t = {
+  nodes : int;
+  edges : int;
+  max_degree : int;
+  triangles : int;  (** total triangle count *)
+  avg_degree : float;
+  global_clustering : float;  (** 3*triangles / wedges *)
+}
+
+val compute : Graph.t -> t
+
+val connected_components : Graph.t -> int list array
+(** Node sets of the connected components (arbitrary order). *)
+
+val largest_component : Graph.t -> int list
+
+val pp : Format.formatter -> t -> unit

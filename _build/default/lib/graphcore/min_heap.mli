@@ -1,0 +1,17 @@
+(** Polymorphic binary heap ordered by an explicit comparison.
+
+    [compare a b < 0] means [a] pops before [b]; pass a reversed comparison
+    to obtain a max-heap (as the Sorted-DP algorithm of the paper does for
+    its per-budget score heaps). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val to_sorted_list : 'a t -> 'a list
+(** Destructive: drains the heap in pop order. *)

@@ -1,0 +1,23 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used to merge truss-connected edges into components and onion-layer
+    connected edges into blocks. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the set containing the element. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets.  No-op when already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets currently alive. *)
+
+val groups : t -> (int, int list) Hashtbl.t
+(** [groups t] maps each representative to the list of its members. *)

@@ -1,0 +1,1 @@
+lib/kcore/core_decompose.ml: Bucket_queue Graph Graphcore Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/kcore/core_decompose.mli: Graph Graphcore

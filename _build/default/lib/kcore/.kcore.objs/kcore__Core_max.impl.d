@@ -1,0 +1,1 @@
+lib/kcore/core_max.ml: Core_decompose Graph Graphcore Hashtbl Int List Queue Unix

@@ -1,0 +1,1 @@
+lib/kcore/core_max.mli: Graph Graphcore

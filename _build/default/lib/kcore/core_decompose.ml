@@ -1,0 +1,57 @@
+open Graphcore
+
+type t = { core : (int, int) Hashtbl.t; mutable kmax : int }
+
+let run g =
+  let core = Hashtbl.create 256 in
+  let queue = Bucket_queue.create ~max_priority:(max 1 (Graph.num_nodes g)) in
+  let work = Graph.copy g in
+  Graph.iter_nodes work (fun v -> Bucket_queue.add queue v (Graph.degree work v));
+  let k = ref 0 in
+  let kmax = ref 0 in
+  let rec drain () =
+    match Bucket_queue.pop_min queue with
+    | None -> ()
+    | Some (v, d) ->
+      if d > !k then k := d;
+      Hashtbl.replace core v !k;
+      if !k > !kmax then kmax := !k;
+      let nbrs = Graph.neighbors work v in
+      List.iter
+        (fun w ->
+          ignore (Graph.remove_edge work v w);
+          match Bucket_queue.priority queue w with
+          | Some p -> Bucket_queue.update queue w (max (p - 1) !k)
+          | None -> ())
+        nbrs;
+      drain ()
+  in
+  drain ();
+  { core; kmax = !kmax }
+
+let coreness t v = match Hashtbl.find_opt t.core v with Some c -> c | None -> 0
+
+let kmax t = t.kmax
+
+let k_core_nodes t k =
+  Hashtbl.fold (fun v c acc -> if c >= k then v :: acc else acc) t.core []
+
+let k_shell t k = Hashtbl.fold (fun v c acc -> if c = k then v :: acc else acc) t.core []
+
+let k_core g t k =
+  let keep = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace keep v ()) (k_core_nodes t k);
+  let out = Graph.create () in
+  Graph.iter_edges g (fun u v ->
+      if Hashtbl.mem keep u && Hashtbl.mem keep v then ignore (Graph.add_edge out u v));
+  out
+
+let shell_sizes t =
+  let counts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ c ->
+      let n = try Hashtbl.find counts c with Not_found -> 0 in
+      Hashtbl.replace counts c (n + 1))
+    t.core;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

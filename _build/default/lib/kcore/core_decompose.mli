@@ -1,0 +1,33 @@
+(** K-core decomposition.
+
+    The k-core is the maximal subgraph where every node has degree at least
+    [k]; a node's coreness is the largest [k] whose k-core contains it.
+    Every k-truss is contained in the (k-1)-core, which is why the paper
+    repeatedly contrasts truss maximization against the (easier) core
+    maximization problem — this library implements both so the comparison
+    experiments can run. *)
+
+open Graphcore
+
+type t
+
+val run : Graph.t -> t
+(** Linear-time peeling (bucket queue over degrees); [g] unchanged. *)
+
+val coreness : t -> int -> int
+(** Coreness of a node; 0 for unseen nodes. *)
+
+val kmax : t -> int
+(** Degeneracy: the largest [k] with a non-empty k-core. *)
+
+val k_core_nodes : t -> int -> int list
+(** Nodes with coreness at least [k]. *)
+
+val k_shell : t -> int -> int list
+(** Nodes with coreness exactly [k]. *)
+
+val k_core : Graph.t -> t -> int -> Graph.t
+(** Subgraph of [g] induced by the k-core's nodes. *)
+
+val shell_sizes : t -> (int * int) list
+(** [(k, |shell_k|)] ascending. *)

@@ -1,0 +1,121 @@
+open Graphcore
+
+type result = { inserted : (int * int) list; new_core_nodes : int; time_s : float }
+
+(* Connected components of the (k-1)-shell (adjacency restricted to shell
+   nodes plus the k-core as a backdrop that never peels). *)
+let shell_components g dec k =
+  let shell = Core_decompose.k_shell dec (k - 1) in
+  let in_shell = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace in_shell v ()) shell;
+  let seen = Hashtbl.create 64 in
+  let comps = ref [] in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        let comp = ref [] in
+        let queue = Queue.create () in
+        Queue.push v queue;
+        Hashtbl.replace seen v ();
+        while not (Queue.is_empty queue) do
+          let u = Queue.pop queue in
+          comp := u :: !comp;
+          Graph.iter_neighbors g u (fun w ->
+              if Hashtbl.mem in_shell w && not (Hashtbl.mem seen w) then begin
+                Hashtbl.replace seen w ();
+                Queue.push w queue
+              end)
+        done;
+        comps := !comp :: !comps
+      end)
+    shell;
+  !comps
+
+(* Insertions converting an entire shell component: each member needs
+   degree >= k counting neighbors in (k-core ∪ component); pair deficient
+   members up, then top up from the k-core. *)
+let conversion_plan g dec k comp =
+  let eligible = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace eligible v ()) comp;
+  List.iter (fun v -> Hashtbl.replace eligible v ()) (Core_decompose.k_core_nodes dec k);
+  let deficiency = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let d = Graph.fold_neighbors g v (fun acc w -> if Hashtbl.mem eligible w then acc + 1 else acc) 0 in
+      if d < k then Hashtbl.replace deficiency v (k - d))
+    comp;
+  let plan = ref [] in
+  let deficient () =
+    Hashtbl.fold (fun v d acc -> if d > 0 then v :: acc else acc) deficiency []
+    |> List.sort Int.compare
+  in
+  let bump v delta =
+    match Hashtbl.find_opt deficiency v with
+    | Some d -> Hashtbl.replace deficiency v (max 0 (d - delta))
+    | None -> ()
+  in
+  let exhausted = ref false in
+  let connectable u v =
+    u <> v
+    && (not (Graph.mem_edge g u v))
+    && not (List.exists (fun (a, b) -> (a, b) = (min u v, max u v)) !plan)
+  in
+  while (not !exhausted) && deficient () <> [] do
+    match deficient () with
+    | u :: rest ->
+      (* prefer pairing two deficient nodes: one edge fixes two units *)
+      let partner = List.find_opt (fun v -> connectable u v) rest in
+      (match partner with
+      | Some v ->
+        plan := (min u v, max u v) :: !plan;
+        bump u 1;
+        bump v 1
+      | None -> (
+        (* top up from the k-core *)
+        let core_partner =
+          List.find_opt (fun v -> connectable u v) (Core_decompose.k_core_nodes dec k)
+        in
+        match core_partner with
+        | Some v ->
+          plan := (min u v, max u v) :: !plan;
+          bump u 1
+        | None -> exhausted := true))
+    | [] -> ()
+  done;
+  if !exhausted then None else Some (List.rev !plan)
+
+let maximize ~g ~k ~budget =
+  let t0 = Unix.gettimeofday () in
+  let dec = Core_decompose.run g in
+  let comps = shell_components g dec (k) in
+  (* cost each component, greedy by conversion ratio *)
+  let priced =
+    List.filter_map
+      (fun comp ->
+        match conversion_plan g dec k comp with
+        | Some plan when plan <> [] && List.length plan <= budget ->
+          Some (List.length comp, plan)
+        | Some [] -> Some (List.length comp, [])
+        | _ -> None)
+      comps
+    |> List.sort (fun (g1, p1) (g2, p2) ->
+           let r1 = float_of_int g1 /. float_of_int (max 1 (List.length p1)) in
+           let r2 = float_of_int g2 /. float_of_int (max 1 (List.length p2)) in
+           compare r2 r1)
+  in
+  let inserted = ref [] and used = ref 0 in
+  List.iter
+    (fun (_, plan) ->
+      let cost = List.length plan in
+      if !used + cost <= budget then begin
+        inserted := plan @ !inserted;
+        used := !used + cost
+      end)
+    priced;
+  let inserted = List.sort_uniq compare !inserted in
+  (* verify *)
+  let g' = Graph.copy g in
+  List.iter (fun (u, v) -> ignore (Graph.add_edge g' u v)) inserted;
+  let before = List.length (Core_decompose.k_core_nodes dec k) in
+  let after = List.length (Core_decompose.k_core_nodes (Core_decompose.run g') k) in
+  { inserted; new_core_nodes = after - before; time_s = Unix.gettimeofday () -. t0 }

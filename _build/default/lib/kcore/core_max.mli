@@ -1,0 +1,21 @@
+(** Core maximization — the easier sibling problem the paper contrasts
+    truss maximization against (Sun et al., VLDB 2022).
+
+    Enlarge the k-core by inserting at most [b] edges.  Unlike the truss
+    problem, a degree deficiency is repaired by {e any} new incident edge,
+    so pairing up deficient (k-1)-shell nodes inside a shell component
+    converts it wholesale.  This is a simplified component-based FastCM:
+    shell components are costed by their total deficiency, picked greedily
+    by conversion ratio, and the result is verified by recomputing the
+    core decomposition. *)
+
+open Graphcore
+
+type result = {
+  inserted : (int * int) list;
+  new_core_nodes : int;  (** verified nodes gained by the k-core *)
+  time_s : float;
+}
+
+val maximize : g:Graph.t -> k:int -> budget:int -> result
+(** [g] is unchanged. *)

@@ -1,0 +1,1 @@
+lib/maxtruss/anchor.ml: Edge_key Graph Graphcore Hashtbl Int List Min_heap Queue Truss Unix

@@ -1,0 +1,1 @@
+lib/maxtruss/anchor.mli: Edge_key Graph Graphcore Hashtbl

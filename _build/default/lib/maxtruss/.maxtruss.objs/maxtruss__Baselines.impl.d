@@ -1,0 +1,1 @@
+lib/maxtruss/baselines.ml: Array Candidate Convert Dp Edge_key Graph Graphcore Hashtbl Int List Min_heap Outcome Plan Rng Score Truss Unix

@@ -1,0 +1,1 @@
+lib/maxtruss/baselines.mli: Graph Graphcore Outcome Plan Rng

@@ -1,0 +1,1 @@
+lib/maxtruss/block_dag.ml: Array Edge_key Format Graph Graphcore Hashtbl List Truss Union_find

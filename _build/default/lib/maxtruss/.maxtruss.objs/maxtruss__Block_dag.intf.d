@@ -1,0 +1,1 @@
+lib/maxtruss/block_dag.mli: Edge_key Format Graph Graphcore Hashtbl Truss

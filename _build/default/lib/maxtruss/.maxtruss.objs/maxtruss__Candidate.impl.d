@@ -1,0 +1,1 @@
+lib/maxtruss/candidate.ml: Array Edge_key Graph Graphcore Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/maxtruss/candidate.mli: Edge_key Graph Graphcore

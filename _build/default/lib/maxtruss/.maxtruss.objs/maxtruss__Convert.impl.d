@@ -1,0 +1,1 @@
+lib/maxtruss/convert.ml: Edge_key Graph Graphcore Hashtbl Int List Min_heap Score Truss

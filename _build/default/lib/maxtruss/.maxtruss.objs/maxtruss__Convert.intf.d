@@ -1,0 +1,1 @@
+lib/maxtruss/convert.mli: Edge_key Graph Graphcore Hashtbl Score

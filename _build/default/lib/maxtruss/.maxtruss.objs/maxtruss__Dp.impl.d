@@ -1,0 +1,1 @@
+lib/maxtruss/dp.ml: Array Bytes Char Int List Map Plan

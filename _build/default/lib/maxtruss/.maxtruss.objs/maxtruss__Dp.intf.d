@@ -1,0 +1,1 @@
+lib/maxtruss/dp.mli: Plan

@@ -1,0 +1,1 @@
+lib/maxtruss/exact.ml: Array Edge_key Graph Graphcore List Printf Score

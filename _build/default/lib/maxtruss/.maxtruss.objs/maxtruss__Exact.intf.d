@@ -1,0 +1,1 @@
+lib/maxtruss/exact.mli: Edge_key Graph Graphcore

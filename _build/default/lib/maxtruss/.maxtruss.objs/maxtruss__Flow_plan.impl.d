@@ -1,0 +1,1 @@
+lib/maxtruss/flow_plan.ml: Array Block_dag Flow Graphcore Hashtbl Int List Min_heap String

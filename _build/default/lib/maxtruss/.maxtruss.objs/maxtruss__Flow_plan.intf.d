@@ -1,0 +1,1 @@
+lib/maxtruss/flow_plan.mli: Block_dag

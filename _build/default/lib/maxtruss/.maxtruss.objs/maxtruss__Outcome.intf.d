@@ -1,0 +1,1 @@
+lib/maxtruss/outcome.mli: Graphcore

@@ -1,0 +1,1 @@
+lib/maxtruss/pcfr.ml: Array Block_dag Convert Dp Edge_key Flow_plan Graph Graphcore Hashtbl Int List Logs Outcome Plan Random_interp Rng Score String Truss Unix

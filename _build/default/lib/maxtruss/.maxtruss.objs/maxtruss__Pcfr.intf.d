@@ -1,0 +1,1 @@
+lib/maxtruss/pcfr.mli: Edge_key Graph Graphcore Outcome Plan Rng Score Truss

@@ -1,0 +1,1 @@
+lib/maxtruss/plan.ml: Array Edge_key Format Graphcore Int List

@@ -1,0 +1,1 @@
+lib/maxtruss/plan.mli: Edge_key Format Graphcore

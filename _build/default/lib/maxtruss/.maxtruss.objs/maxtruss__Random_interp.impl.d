@@ -1,0 +1,1 @@
+lib/maxtruss/random_interp.ml: Array Candidate Edge_key Graphcore Hashtbl List Plan Rng Score Truss

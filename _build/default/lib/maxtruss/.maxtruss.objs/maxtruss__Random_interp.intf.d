@@ -1,0 +1,1 @@
+lib/maxtruss/random_interp.mli: Edge_key Graph Graphcore Plan Rng Score

@@ -1,0 +1,1 @@
+lib/maxtruss/score.ml: Edge_key Graph Graphcore Hashtbl List Truss

@@ -1,0 +1,1 @@
+lib/maxtruss/score.mli: Edge_key Graph Graphcore Hashtbl Truss

@@ -1,0 +1,1 @@
+lib/maxtruss/weighted.ml: Array Dp Edge_key Graph Graphcore List Pcfr Plan Rng Score Truss Unix

@@ -1,0 +1,1 @@
+lib/maxtruss/weighted.mli: Edge_key Graph Graphcore Plan

@@ -1,0 +1,37 @@
+(** Anchored truss maximization — the node-anchoring alternative the
+    paper's related work contrasts against (Zhang et al., ICDE 2018).
+
+    Instead of inserting edges, pick at most [b] {e anchor} nodes whose
+    incident edges are exempt from peeling; the anchored k-truss is the
+    maximal subgraph where every edge either has support >= k-2 or touches
+    an anchor.  The score ("followers") is the number of edges kept beyond
+    the plain k-truss.  Maximizing it is NP-hard too; the standard approach
+    is greedy anchor selection, implemented here with lazy gain
+    re-evaluation.
+
+    The harness compares anchoring b nodes against inserting b edges on
+    the same graphs — the comparison motivating the paper's choice of edge
+    insertion as the enhancement operation. *)
+
+open Graphcore
+
+val anchored_k_truss :
+  Graph.t -> k:int -> anchors:int list -> (Edge_key.t, unit) Hashtbl.t
+(** Edge set of the anchored k-truss. *)
+
+type result = {
+  anchors : int list;  (** chosen anchor nodes, in pick order *)
+  followers : int;  (** anchored-truss edges beyond the plain k-truss *)
+  time_s : float;
+}
+
+val greedy :
+  g:Graph.t ->
+  k:int ->
+  budget:int ->
+  ?max_candidates:int ->
+  unit ->
+  result
+(** Greedy anchor selection among nodes incident to the (k-1)-class
+    (capped at [max_candidates], default 400, highest incident-class-degree
+    first).  [g] unchanged. *)

@@ -1,0 +1,132 @@
+open Graphcore
+
+let rd ~rng ~g ~k ~budget =
+  Outcome.timed ~original:g ~k (fun () ->
+      let dec = Truss.Decompose.run g in
+      let klass = Truss.Decompose.k_class dec (k - 1) in
+      if klass = [] then ([], false)
+      else begin
+        let pool = Candidate.stable_pool ~g ~component:klass ~k () in
+        let chosen = Rng.sample_without_replacement rng budget pool in
+        (Array.to_list chosen |> List.map Edge_key.endpoints, false)
+      end)
+
+let gtm ~g ~k ~budget ?(max_candidates = 400) ?(time_limit_s = 120.0) () =
+  Outcome.timed ~original:g ~k (fun () ->
+      let start = Unix.gettimeofday () in
+      let over_time () = Unix.gettimeofday () -. start > time_limit_s in
+      let dec = Truss.Decompose.run g in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+      if comps = [] then ([], false)
+      else begin
+        (* Gains are evaluated per component against a local context —
+           triangle-connectivity independence makes that exact — and each
+           local context is maintained incrementally on commit. *)
+        let ctx0 = Score.make_ctx g ~k in
+        let lctxs = Array.of_list (List.map (fun c -> Score.local_ctx ctx0 ~component:c) comps) in
+        let n_comps = Array.length lctxs in
+        let per_comp = max 20 (max_candidates / n_comps) in
+        let gain_of ci key =
+          let lctx = lctxs.(ci) in
+          let u, v = Edge_key.endpoints key in
+          Truss.Maintain.k_truss_after_insert ~g:lctx.Score.g
+            ~old_truss:lctx.Score.old_truss ~k ~inserted:[ (u, v) ]
+        in
+        (* Lazy greedy: gains only shrink slowly as the graph grows, so a
+           stale heap refreshed at the top commits the right edge with a
+           handful of re-evaluations per step (the "candidate pruning" role
+           of the original GTM). *)
+        let cmp (g1, s1, _, k1) (g2, s2, _, k2) =
+          match Int.compare g2 g1 with
+          | 0 -> ( match Int.compare s2 s1 with 0 -> Edge_key.compare k1 k2 | c -> c)
+          | c -> c
+        in
+        let heap = Min_heap.create ~cmp in
+        let seed_deadline = ref false in
+        List.iteri
+          (fun ci comp ->
+            if not !seed_deadline then begin
+              let lctx = lctxs.(ci) in
+              let pool =
+                Candidate.stable_pool ~g:lctx.Score.g ~component:comp ~k
+                  ~max_size:per_comp ~forbidden:g ()
+              in
+              Array.iter
+                (fun key ->
+                  if not !seed_deadline then begin
+                    if over_time () then seed_deadline := true
+                    else begin
+                      let u, v = Edge_key.endpoints key in
+                      let d = gain_of ci key in
+                      let sup = Graph.count_common_neighbors lctx.Score.g u v in
+                      Min_heap.push heap
+                        (List.length d.Truss.Maintain.promoted, sup, ci, key)
+                    end
+                  end)
+                pool
+            end)
+          comps;
+        let chosen = ref [] in
+        let n_chosen = ref 0 in
+        let timed_out = ref !seed_deadline in
+        let continue = ref true in
+        while !continue && !n_chosen < budget && not !timed_out do
+          if over_time () then timed_out := true
+          else
+            match Min_heap.pop heap with
+            | None -> continue := false
+            | Some (_, _, ci, key) when Graph.mem_edge_key lctxs.(ci).Score.g key -> ()
+            | Some (_, _, ci, key) ->
+              let delta = gain_of ci key in
+              let fresh = List.length delta.Truss.Maintain.promoted in
+              let next_gain =
+                match Min_heap.peek heap with Some (ng, _, _, _) -> ng | None -> min_int
+              in
+              if fresh >= next_gain then begin
+                let lctx = lctxs.(ci) in
+                let u, v = Edge_key.endpoints key in
+                ignore (Graph.add_edge lctx.Score.g u v);
+                List.iter
+                  (fun e -> Hashtbl.replace lctx.Score.old_truss e ())
+                  delta.Truss.Maintain.promoted;
+                chosen := (u, v) :: !chosen;
+                incr n_chosen
+              end
+              else begin
+                let u, v = Edge_key.endpoints key in
+                let sup = Graph.count_common_neighbors lctxs.(ci).Score.g u v in
+                Min_heap.push heap (fresh, sup, ci, key)
+              end
+        done;
+        (List.rev !chosen, !timed_out)
+      end)
+
+let cbtm_revenues ~g ~k ~budget =
+  let dec = Truss.Decompose.run g in
+  let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+  let ctx = Score.make_ctx g ~k in
+  let revenue comp =
+    let conv = Convert.convert ~ctx ~target:comp () in
+    if conv.Convert.plan = [] || List.length conv.Convert.plan > budget then []
+    else begin
+      (* Component-local scoring: exact when components are independent
+         (the DP's own premise), and the same yardstick PCFR uses. *)
+      let lctx = Score.local_ctx ctx ~component:comp in
+      let score = Score.score lctx conv.Convert.plan in
+      if score <= 0 then []
+      else [ Plan.make ~inserted:(Score.keys_of_pairs conv.Convert.plan) ~score ]
+    end
+  in
+  Array.of_list (List.map revenue comps)
+
+let cbtm ~g ~k ~budget =
+  Outcome.timed ~original:g ~k (fun () ->
+      let revenues = cbtm_revenues ~g ~k ~budget in
+      let alloc = Dp.binary ~revenues ~budget in
+      let inserted =
+        List.concat_map
+          (fun (_, (p : Plan.pair)) -> Score.pairs_of_keys p.inserted)
+          alloc.Dp.chosen
+        |> List.sort_uniq compare
+      in
+      (inserted, false))

@@ -1,0 +1,161 @@
+open Graphcore
+
+type t = {
+  n_blocks : int;
+  index : (Edge_key.t, int) Hashtbl.t;
+  edges_of : Edge_key.t array array;
+  layer : int array;
+  tau : int array;
+  links : (int * int * int) array;
+  out_weight : int array;
+  base_sink : int array;
+  max_layer : int;
+  max_block_size : int;
+  total_link_weight : int;
+}
+
+(* Rank of an edge of [h] in the (trussness, onion-layer) order of
+   Definition 5.  Backdrop edges (not peeled) rank above every candidate. *)
+let rank_of ~dec ~onion key =
+  match Hashtbl.find_opt onion.Truss.Onion.layer key with
+  | Some l ->
+    let tau = match Truss.Decompose.trussness_opt dec key with Some t -> t | None -> 0 in
+    (tau, l)
+  | None -> (max_int, 0)
+
+let rank_ge (t1, l1) (t2, l2) = t1 > t2 || (t1 = t2 && l1 >= l2)
+let rank_gt (t1, l1) (t2, l2) = t1 > t2 || (t1 = t2 && l1 > l2)
+let rank_eq (t1, l1) (t2, l2) = t1 = t2 && l1 = l2
+
+let build ~h ~dec ~k:_ ~component ~onion =
+  let members = Array.of_list component in
+  let n = Array.length members in
+  let pos = Hashtbl.create (max n 1) in
+  Array.iteri (fun i key -> Hashtbl.replace pos key i) members;
+  let rank = rank_of ~dec ~onion in
+  let is_member key = Hashtbl.mem pos key in
+  (* Pass 1: merge onion-layer connected edges into blocks. *)
+  let uf = Union_find.create n in
+  let each_triangle f =
+    Array.iter
+      (fun key ->
+        let u, v = Edge_key.endpoints key in
+        Graph.iter_common_neighbors h u v (fun w ->
+            f key (Edge_key.make u w) (Edge_key.make v w)))
+      members
+  in
+  each_triangle (fun e f1 f2 ->
+      let re = rank e in
+      let try_union fi fo =
+        if is_member fi && rank_eq re (rank fi) && rank_ge (rank fo) re then
+          Union_find.union uf (Hashtbl.find pos e) (Hashtbl.find pos fi)
+      in
+      try_union f1 f2;
+      try_union f2 f1);
+  (* Dense block ids. *)
+  let root_to_block = Hashtbl.create 64 in
+  let next = ref 0 in
+  let index = Hashtbl.create (max n 1) in
+  Array.iteri
+    (fun i key ->
+      let r = Union_find.find uf i in
+      let b =
+        match Hashtbl.find_opt root_to_block r with
+        | Some b -> b
+        | None ->
+          let b = !next in
+          incr next;
+          Hashtbl.replace root_to_block r b;
+          b
+      in
+      Hashtbl.replace index key b)
+    members;
+  let n_blocks = !next in
+  let buckets = Array.make n_blocks [] in
+  Array.iter (fun key ->
+      let b = Hashtbl.find index key in
+      buckets.(b) <- key :: buckets.(b))
+    members;
+  let edges_of = Array.map Array.of_list buckets in
+  let layer = Array.make n_blocks 0 in
+  let tau = Array.make n_blocks 0 in
+  Array.iteri
+    (fun b edges ->
+      if Array.length edges > 0 then begin
+        let t, l = rank edges.(0) in
+        layer.(b) <- l;
+        tau.(b) <- t
+      end)
+    edges_of;
+  (* Pass 2: link weights.  Q[(b1, b2)] collects the b1 edges adjacent to b2
+     through a qualifying triangle; |Q| is the link capacity. *)
+  let q_sets : (int, (Edge_key.t, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let link_key b1 b2 = (b1 * n_blocks) + b2 in
+  each_triangle (fun e fi fo ->
+      let consider e_deep e_shallow third =
+        if is_member e_deep && is_member e_shallow then begin
+          let bd = Hashtbl.find index e_deep and bs = Hashtbl.find index e_shallow in
+          if
+            bd <> bs
+            && rank_gt (rank e_deep) (rank e_shallow)
+            && rank_ge (rank third) (rank e_shallow)
+          then begin
+            let lk = link_key bd bs in
+            let set =
+              match Hashtbl.find_opt q_sets lk with
+              | Some s -> s
+              | None ->
+                let s = Hashtbl.create 4 in
+                Hashtbl.replace q_sets lk s;
+                s
+            in
+            Hashtbl.replace set e_deep ()
+          end
+        end
+      in
+      (* Both orientations of both pairs through the base edge. *)
+      consider e fi fo;
+      consider fi e fo;
+      consider e fo fi;
+      consider fo e fi);
+  let links =
+    Hashtbl.fold
+      (fun lk set acc -> (lk / n_blocks, lk mod n_blocks, Hashtbl.length set) :: acc)
+      q_sets []
+    |> List.sort compare |> Array.of_list
+  in
+  let out_weight = Array.make n_blocks 0 in
+  Array.iter (fun (src, _, w) -> out_weight.(src) <- out_weight.(src) + w) links;
+  let base_sink =
+    Array.init n_blocks (fun b ->
+        if out_weight.(b) = 0 then Array.length edges_of.(b) else 0)
+  in
+  let total_link_weight =
+    Array.fold_left (fun acc (_, _, w) -> acc + w) 0 links
+    + Array.fold_left ( + ) 0 base_sink
+  in
+  let max_block_size = Array.fold_left (fun m e -> max m (Array.length e)) 0 edges_of in
+  {
+    n_blocks;
+    index;
+    edges_of;
+    layer;
+    tau;
+    links;
+    out_weight;
+    base_sink;
+    max_layer = onion.Truss.Onion.max_layer;
+    max_block_size;
+    total_link_weight;
+  }
+
+let block_of t key = Hashtbl.find_opt t.index key
+
+let edges_of_blocks t blocks =
+  List.concat_map (fun b -> Array.to_list t.edges_of.(b)) blocks
+
+let size t b = Array.length t.edges_of.(b)
+
+let pp ppf t =
+  Format.fprintf ppf "dag<%d blocks, %d links, q=%d, Lmax=%d>" t.n_blocks
+    (Array.length t.links) t.total_link_weight t.max_layer

@@ -1,0 +1,52 @@
+(** Block DAG construction — Step 1 of the min-cut interpolation
+    (Section IV-C of the paper).
+
+    Component edges sharing a triangle, having the same [(trussness, onion
+    layer)] rank, and whose third triangle edge ranks at least as deep, are
+    merged into {e blocks}.  Blocks become DAG vertices; a directed link
+    runs from the deeper block to the shallower one (peeled earlier), with
+    weight [|Q|] where [Q] is the set of deeper-block edges adjacent to the
+    shallower block through a qualifying triangle — an estimate of how hard
+    it is to keep the deep block while dropping the shallow one.  Blocks
+    with no outgoing link get a virtual link to the sink weighted by their
+    size. *)
+
+open Graphcore
+
+type t = {
+  n_blocks : int;
+  index : (Edge_key.t, int) Hashtbl.t;  (** component edge -> block id *)
+  edges_of : Edge_key.t array array;  (** block id -> member edges *)
+  layer : int array;  (** onion layer of each block *)
+  tau : int array;  (** trussness of each block's edges *)
+  links : (int * int * int) array;  (** (src, dst, weight); src ranks above dst *)
+  out_weight : int array;  (** d_i: total weight of outgoing links *)
+  base_sink : int array;  (** |B_i| for sink-attached blocks, else 0 *)
+  max_layer : int;
+  max_block_size : int;
+  total_link_weight : int;  (** q: all link weights, sink links included *)
+}
+
+val build :
+  h:Graph.t ->
+  dec:Truss.Decompose.t ->
+  k:int ->
+  component:Edge_key.t list ->
+  onion:Truss.Onion.result ->
+  t
+(** [h] is the component's local subgraph (see {!Truss.Onion.build_h}) — it
+    must still contain every component edge, so peel a {e copy} when
+    computing [onion].  [dec] supplies trussness for the rank order; edges
+    outside the decomposition (e.g. previously inserted) rank as backdrop
+    when their endpoints are in [h] and they have trussness at least [k]. *)
+
+val block_of : t -> Edge_key.t -> int option
+(** Block membership lookup. *)
+
+val edges_of_blocks : t -> int list -> Edge_key.t list
+(** Union of the member edges of the given blocks. *)
+
+val size : t -> int -> int
+(** Number of edges in a block. *)
+
+val pp : Format.formatter -> t -> unit

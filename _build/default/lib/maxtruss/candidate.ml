@@ -1,0 +1,55 @@
+open Graphcore
+
+let raw_pool ~g ~forbidden ~component =
+  let seen = Hashtbl.create 256 in
+  let add y z =
+    if y <> z && (not (Graph.mem_edge g y z)) && not (Graph.mem_edge forbidden y z) then
+      Hashtbl.replace seen (Edge_key.make y z) ()
+  in
+  List.iter
+    (fun key ->
+      let x, y = Edge_key.endpoints key in
+      (* (x,y) in the component; any neighbor z of one endpoint gives the
+         candidate closing the triangle at the other endpoint. *)
+      Graph.iter_neighbors g x (fun z -> if z <> y then add y z);
+      Graph.iter_neighbors g y (fun z -> if z <> x then add x z))
+    component;
+  seen
+
+let truncate ~g ~max_size seen =
+  let arr = Array.make (Hashtbl.length seen) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun key () ->
+      arr.(!i) <- key;
+      incr i)
+    seen;
+  match max_size with
+  | Some cap when Array.length arr > cap ->
+    let scored =
+      Array.map
+        (fun key ->
+          let u, v = Edge_key.endpoints key in
+          (Graph.count_common_neighbors g u v, key))
+        arr
+    in
+    Array.sort (fun (a, ka) (b, kb) ->
+        match Int.compare b a with 0 -> Int.compare ka kb | c -> c)
+      scored;
+    Array.map (fun (_, key) -> key) (Array.sub scored 0 cap)
+  | _ ->
+    Array.sort Int.compare arr;
+    arr
+
+let pool ~g ~component ?max_size ?(forbidden = Graph.create ()) () =
+  truncate ~g ~max_size (raw_pool ~g ~forbidden ~component)
+
+let stable_pool ~g ~component ~k ?max_size ?(forbidden = Graph.create ()) () =
+  let seen = raw_pool ~g ~forbidden ~component in
+  let stable = Hashtbl.create (Hashtbl.length seen) in
+  Hashtbl.iter
+    (fun key () ->
+      let u, v = Edge_key.endpoints key in
+      if Graph.count_common_neighbors g u v >= k - 2 then Hashtbl.replace stable key ())
+    seen;
+  truncate ~g ~max_size stable

@@ -1,0 +1,32 @@
+(** Insertion candidate pools (Algorithm 1, lines 2-3).
+
+    A candidate is a non-edge [(y, z)] that would close a triangle with an
+    edge of the component: there is a node [x] with [(x, y)] in the
+    component and [(x, z)] in the graph.  Inserting a candidate immediately
+    raises the support of at least one component edge. *)
+
+open Graphcore
+
+val pool :
+  g:Graph.t ->
+  component:Edge_key.t list ->
+  ?max_size:int ->
+  ?forbidden:Graph.t ->
+  unit ->
+  Edge_key.t array
+(** Deduplicated candidate pool.  [max_size] truncates deterministically
+    (highest-support candidates kept) to bound work on hub-heavy graphs;
+    default unbounded.  Edges of [g] are always excluded; [forbidden]
+    (default empty) is an additional graph whose edges are excluded too —
+    pass the global graph when [g] is a local component subgraph. *)
+
+val stable_pool :
+  g:Graph.t ->
+  component:Edge_key.t list ->
+  k:int ->
+  ?max_size:int ->
+  ?forbidden:Graph.t ->
+  unit ->
+  Edge_key.t array
+(** Subset of {!pool} whose own support in [g] is at least [k - 2] — the
+    candidate set of the RD and GTM baselines. *)

@@ -1,0 +1,38 @@
+(** Complete conversion of a chosen edge set into the k-truss
+    (Algorithm 2 plus the Clique and Greedy strategies).
+
+    Given a target subset [S] of a component, find new edges [P] whose
+    insertion drags every edge of [S] (and of [P]) into the k-truss:
+
+    + compute the component-based support CSup (Definition 6) of every
+      target edge inside [H = T_k ∪ S];
+    + greedily insert stable candidate edges that cover the most unstable
+      targets;
+    + finish off stragglers with whichever of the Clique strategy (embed the
+      edge into a k-clique, the smallest k-truss) or the cascading Greedy
+      strategy is cheaper.
+
+    The result is a {e proposed} plan; callers verify its actual score with
+    {!Score.evaluate} — the paper makes the same distinction between the
+    estimated cut cost and the real budget charged. *)
+
+open Graphcore
+
+type outcome = {
+  plan : (int * int) list;  (** new edges to insert *)
+  clique_fallbacks : int;  (** targets that needed the clique strategy *)
+  greedy_fallbacks : int;  (** targets finished by the cascading greedy *)
+}
+
+val convert :
+  ctx:Score.ctx ->
+  target:Edge_key.t list ->
+  ?node_pool:int list ->
+  unit ->
+  outcome
+(** [node_pool] widens the vertex set the clique strategy may recruit from
+    (defaults to the nodes of [H]). *)
+
+val csup : h:Graph.t -> Edge_key.t list -> (Edge_key.t, int) Hashtbl.t
+(** Component-based support of the target edges inside a prepared [H]
+    subgraph — exposed for tests and the DAG-size experiment. *)

@@ -1,0 +1,14 @@
+(** Common result record for all maximization algorithms. *)
+
+type t = {
+  inserted : (int * int) list;  (** new edges actually inserted *)
+  score : int;  (** verified new k-truss edges against the original graph *)
+  time_s : float;  (** wall-clock seconds *)
+  timed_out : bool;  (** the algorithm hit its time guard *)
+}
+
+val empty : t
+
+val timed : (unit -> (int * int) list * bool) -> original:Graphcore.Graph.t -> k:int -> t
+(** Run the thunk, verify its insertions against the original graph's
+    k-truss, stamp wall-clock time. *)

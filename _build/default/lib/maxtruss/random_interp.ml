@@ -1,0 +1,24 @@
+open Graphcore
+
+let interpolate ~rng ~ctx ~component ~budget ~repeats ?max_pool ?forbidden () =
+  let pool = Candidate.pool ~g:ctx.Score.g ~component ?max_size:max_pool ?forbidden () in
+  if Array.length pool = 0 || budget < 1 then []
+  else begin
+    let pairs = ref [] in
+    for _ = 1 to repeats do
+      let b_r = Rng.int_in rng 1 budget in
+      let chosen = Rng.sample_without_replacement rng b_r pool in
+      let inserted = Array.to_list chosen |> List.map Edge_key.endpoints in
+      let delta = Score.evaluate ctx inserted in
+      let promoted = Hashtbl.create 64 in
+      List.iter (fun key -> Hashtbl.replace promoted key ()) delta.Truss.Maintain.promoted;
+      (* Only inserted edges that made it into the truss are charged; the
+         others would be peeled anyway, so the plan omits them. *)
+      let surviving =
+        List.filter (fun key -> Hashtbl.mem promoted key) (Array.to_list chosen)
+      in
+      let v = List.length delta.Truss.Maintain.promoted in
+      if surviving <> [] && v > 0 then pairs := Plan.make ~inserted:surviving ~score:v :: !pairs
+    done;
+    Plan.normalize !pairs
+  end

@@ -1,0 +1,44 @@
+open Graphcore
+
+type ctx = { g : Graph.t; k : int; old_truss : (Edge_key.t, unit) Hashtbl.t }
+
+let make_ctx g ~k = { g; k; old_truss = Truss.Truss_query.k_truss_edges g ~k }
+
+let evaluate ctx inserted =
+  Truss.Maintain.k_truss_after_insert ~g:ctx.g ~old_truss:ctx.old_truss ~k:ctx.k ~inserted
+
+let local_ctx ctx ~component =
+  (* The scoring subgraph is wider than the conversion subgraph T_k ∪ E_c:
+     promotions can also ride on low-trussness edges around the component
+     (e.g. a class-2 edge completing a clique with inserted edges), so
+     include every graph edge incident to a component node, plus backdrop
+     edges one hop out. *)
+  let h = Truss.Onion.build_h ~g:ctx.g ~backdrop:ctx.old_truss ~candidates:component in
+  let nodes = Hashtbl.create 64 in
+  List.iter
+    (fun key ->
+      let u, v = Edge_key.endpoints key in
+      Hashtbl.replace nodes u ();
+      Hashtbl.replace nodes v ())
+    component;
+  Hashtbl.iter
+    (fun u () -> Graph.iter_neighbors ctx.g u (fun v -> ignore (Graph.add_edge h u v)))
+    nodes;
+  let old_local = Hashtbl.create 256 in
+  Graph.iter_edges h (fun u v ->
+      let key = Edge_key.make u v in
+      if Hashtbl.mem ctx.old_truss key then Hashtbl.replace old_local key ());
+  { g = h; k = ctx.k; old_truss = old_local }
+
+let score ctx inserted = List.length (evaluate ctx inserted).Truss.Maintain.promoted
+
+let evaluate_oracle g ~k ~inserted =
+  let g' = Graph.copy g in
+  List.iter (fun (u, v) -> if u <> v then ignore (Graph.add_edge g' u v)) inserted;
+  let before = Truss.Truss_query.k_truss_edges g ~k in
+  let after = Truss.Truss_query.k_truss_edges g' ~k in
+  Hashtbl.fold (fun key () acc -> if Hashtbl.mem before key then acc else acc + 1) after 0
+
+let pairs_of_keys keys = List.map Edge_key.endpoints keys
+
+let keys_of_pairs pairs = List.map (fun (u, v) -> Edge_key.make u v) pairs

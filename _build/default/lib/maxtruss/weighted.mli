@@ -1,0 +1,46 @@
+(** Weighted insertion budgets — an extension beyond the paper.
+
+    The paper motivates budgets economically (coupon promotions, new
+    flight routes) but charges every insertion one unit.  This module
+    generalizes to per-edge costs: a plan's cost becomes the sum of its
+    edges' costs, menus are re-priced, and the budget-assignment DP —
+    which never assumed unit costs — runs unchanged.  Plan {e search}
+    (Convert, the sweeps) still minimizes edge counts, so results are a
+    heuristic under strongly non-uniform costs; scores remain exactly
+    verified. *)
+
+open Graphcore
+
+type cost_fn = int -> int -> int
+(** [cost u v >= 1] — price of inserting the edge [(u, v)]. *)
+
+val uniform : cost_fn
+(** Every edge costs 1 (the paper's setting). *)
+
+val by_degree : Graph.t -> cost_fn
+(** [1 + (deg u + deg v) / 8] — connecting hubs is expensive, a common
+    pricing for social-network link promotion. *)
+
+val plan_cost : cost_fn -> Edge_key.t list -> int
+
+val reprice : cost_fn -> Plan.revenue -> Plan.revenue
+(** Re-price a menu under the cost function and re-normalize. *)
+
+type result = {
+  inserted : (int * int) list;
+  score : int;  (** verified new k-truss edges *)
+  spent : int;  (** total weighted cost, <= budget *)
+  time_s : float;
+}
+
+val maximize :
+  g:Graph.t ->
+  k:int ->
+  budget:int ->
+  cost:cost_fn ->
+  ?seed:int ->
+  unit ->
+  result
+(** PCFR-style maximization under weighted costs: builds the usual Phase-I
+    menus for the (k-1)-class components, re-prices them, and lets the DP
+    allocate the weighted budget. *)

@@ -1,0 +1,1 @@
+lib/truss/community.ml: Decompose Edge_key Graph Graphcore Hashtbl List Queue Truss_query

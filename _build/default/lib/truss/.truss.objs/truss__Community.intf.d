@@ -1,0 +1,1 @@
+lib/truss/community.mli: Edge_key Graph Graphcore

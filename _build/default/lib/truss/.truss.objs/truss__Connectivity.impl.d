@@ -1,0 +1,1 @@
+lib/truss/connectivity.ml: Array Decompose Edge_key Graph Graphcore Hashtbl Int List Union_find

@@ -1,0 +1,1 @@
+lib/truss/connectivity.mli: Decompose Edge_key Graph Graphcore

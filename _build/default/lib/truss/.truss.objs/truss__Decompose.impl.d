@@ -1,0 +1,1 @@
+lib/truss/decompose.ml: Bucket_queue Edge_key Graph Graphcore Hashtbl Int List Support

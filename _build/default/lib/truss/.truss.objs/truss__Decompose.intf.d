@@ -1,0 +1,1 @@
+lib/truss/decompose.mli: Edge_key Graph Graphcore Hashtbl

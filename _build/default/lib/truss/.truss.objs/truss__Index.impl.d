@@ -1,0 +1,1 @@
+lib/truss/index.ml: Array Decompose Edge_key Graphcore Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/truss/index.mli: Decompose Edge_key Graphcore

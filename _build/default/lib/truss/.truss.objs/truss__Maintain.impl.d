@@ -1,0 +1,1 @@
+lib/truss/maintain.ml: Decompose Edge_key Graph Graphcore Hashtbl List Queue

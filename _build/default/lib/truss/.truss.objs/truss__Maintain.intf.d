@@ -1,0 +1,1 @@
+lib/truss/maintain.mli: Decompose Edge_key Graph Graphcore Hashtbl

@@ -1,0 +1,1 @@
+lib/truss/onion.ml: Edge_key Graph Graphcore Hashtbl List

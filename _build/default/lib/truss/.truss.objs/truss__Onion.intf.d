@@ -1,0 +1,1 @@
+lib/truss/onion.mli: Edge_key Graph Graphcore Hashtbl

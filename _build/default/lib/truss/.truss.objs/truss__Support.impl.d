@@ -1,0 +1,1 @@
+lib/truss/support.ml: Edge_key Graph Graphcore Hashtbl

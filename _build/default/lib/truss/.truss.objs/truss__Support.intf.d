@@ -1,0 +1,1 @@
+lib/truss/support.mli: Edge_key Graph Graphcore Hashtbl

@@ -1,0 +1,1 @@
+lib/truss/truss_query.ml: Edge_key Graph Graphcore Hashtbl Queue Support

@@ -1,0 +1,1 @@
+lib/truss/truss_query.mli: Edge_key Graph Graphcore Hashtbl

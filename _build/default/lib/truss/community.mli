@@ -1,0 +1,21 @@
+(** Truss-based community search — the flagship application of k-truss the
+    paper's introduction motivates (Huang et al., SIGMOD 2014).
+
+    The k-truss community of a query node is a maximal triangle-connected
+    set of k-truss edges touching it: cohesive (every edge in >= k-2
+    triangles), (k-1)-edge-connected, and free of the "free rider" effect
+    that plain k-truss membership has. *)
+
+open Graphcore
+
+val communities : Graph.t -> query:int -> k:int -> Edge_key.t list list
+(** All k-truss communities containing the query node (a node can belong to
+    several, one per triangle-connected class of its incident truss
+    edges).  Empty when the node touches no k-truss edge. *)
+
+val community_graph : Graph.t -> query:int -> k:int -> Graph.t
+(** Union of the query's communities, as a graph. *)
+
+val max_k : Graph.t -> query:int -> int
+(** The largest [k] for which the query node has a non-empty community —
+    the maximum trussness over its incident edges. *)

@@ -1,0 +1,23 @@
+(** Triangle-connectivity components (Definitions 3 and 7 of the paper).
+
+    Two edges of a class are truss connected when they share a triangle that
+    lies entirely within the relevant truss; components are the transitive
+    closure.  Converting one component to k-truss never affects another —
+    the independence the budget-assignment DP relies on. *)
+
+open Graphcore
+
+val components : g:Graph.t -> dec:Decompose.t -> lo:int -> hi:int -> Edge_key.t list list
+(** Components of the edge set [{e | lo <= tau(e) < hi}], where two member
+    edges are joined when they share a triangle whose third edge has
+    trussness at least [lo] (the triangle lies in the lo-truss).
+
+    - Definition 3 components of the k-class: [lo = k, hi = k + 1].
+    - Phase-I candidate components of the (k-1)-class: [lo = k - 1, hi = k].
+    - Definition 7 general components for (k-h)-truss conversion:
+      [lo = k - h, hi = k].
+
+    Components are returned largest first. *)
+
+val component_nodes : Edge_key.t list -> int list
+(** Distinct endpoints of a component's edges. *)

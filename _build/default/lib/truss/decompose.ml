@@ -1,0 +1,69 @@
+open Graphcore
+
+type t = { tau : (Edge_key.t, int) Hashtbl.t; mutable kmax : int }
+
+let run g =
+  let work = Graph.copy g in
+  let m = Graph.num_edges work in
+  let tau = Hashtbl.create (max m 1) in
+  let max_sup = ref 0 in
+  let sup = Support.all work in
+  Hashtbl.iter (fun _ s -> if s > !max_sup then max_sup := s) sup;
+  let queue = Bucket_queue.create ~max_priority:(max !max_sup 1) in
+  Hashtbl.iter (fun key s -> Bucket_queue.add queue key s) sup;
+  let k = ref 2 in
+  let kmax = ref (if m = 0 then 0 else 2) in
+  let rec drain () =
+    match Bucket_queue.pop_min queue with
+    | None -> ()
+    | Some (key, s) ->
+      if s + 2 > !k then k := s + 2;
+      Hashtbl.replace tau key !k;
+      if !k > !kmax then kmax := !k;
+      let u, v = Edge_key.endpoints key in
+      (* Each surviving triangle through (u,v) loses one support on both of
+         its other edges. *)
+      Graph.iter_common_neighbors work u v (fun w ->
+          let e1 = Edge_key.make u w and e2 = Edge_key.make v w in
+          (match Bucket_queue.priority queue e1 with
+          | Some p -> Bucket_queue.update queue e1 (max (p - 1) (!k - 2))
+          | None -> ());
+          match Bucket_queue.priority queue e2 with
+          | Some p -> Bucket_queue.update queue e2 (max (p - 1) (!k - 2))
+          | None -> ());
+      ignore (Graph.remove_edge work u v);
+      drain ()
+  in
+  drain ();
+  { tau; kmax = !kmax }
+
+let trussness t key = Hashtbl.find t.tau key
+
+let trussness_opt t key = Hashtbl.find_opt t.tau key
+
+let kmax t = t.kmax
+
+let k_class t k =
+  Hashtbl.fold (fun key tau acc -> if tau = k then key :: acc else acc) t.tau []
+
+let truss_edges t k =
+  Hashtbl.fold (fun key tau acc -> if tau >= k then key :: acc else acc) t.tau []
+
+let truss_edge_table t k =
+  let tbl = Hashtbl.create 256 in
+  Hashtbl.iter (fun key tau -> if tau >= k then Hashtbl.replace tbl key ()) t.tau;
+  tbl
+
+let class_sizes t =
+  let counts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ tau ->
+      let c = try Hashtbl.find counts tau with Not_found -> 0 in
+      Hashtbl.replace counts tau (c + 1))
+    t.tau;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let num_edges t = Hashtbl.length t.tau
+
+let iter t f = Hashtbl.iter f t.tau

@@ -1,0 +1,40 @@
+(** Truss decomposition: the trussness [tau(e)] of every edge (Definition 2
+    of the paper).
+
+    Classic bottom-up peeling: repeatedly remove a minimum-support edge,
+    assigning it trussness [support + 2] (made monotone), and decrement the
+    support of the two other edges of each triangle it closed.  Runs in
+    O(m^1.5) with the bucket queue. *)
+
+open Graphcore
+
+type t
+
+val run : Graph.t -> t
+(** Decompose the graph.  [g] is not modified (peeling happens on a copy). *)
+
+val trussness : t -> Edge_key.t -> int
+(** Trussness of an edge; raises [Not_found] for edges absent from the
+    decomposed graph. *)
+
+val trussness_opt : t -> Edge_key.t -> int option
+
+val kmax : t -> int
+(** Largest [k] with a non-empty k-truss ([0] for a triangle-free graph of
+    fewer than 1 edges; [2] for any non-empty graph). *)
+
+val k_class : t -> int -> Edge_key.t list
+(** Edges with trussness exactly [k] (the k-class [E_k]). *)
+
+val truss_edges : t -> int -> Edge_key.t list
+(** Edges with trussness at least [k] (the edge set [T_k] of the k-truss). *)
+
+val truss_edge_table : t -> int -> (Edge_key.t, unit) Hashtbl.t
+
+val class_sizes : t -> (int * int) list
+(** [(k, |E_k|)] pairs, ascending in [k]. *)
+
+val num_edges : t -> int
+
+val iter : t -> (Edge_key.t -> int -> unit) -> unit
+(** Iterate over all (edge, trussness) pairs. *)

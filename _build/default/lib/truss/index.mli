@@ -1,0 +1,28 @@
+(** Immutable trussness index for fast repeated truss queries.
+
+    A decomposition answers "which edges form the k-truss" by a linear
+    scan; the index sorts edges by trussness once so every later query is
+    O(answer).  PCFR's level loop and the community-search example issue
+    many such queries against the same decomposition. *)
+
+open Graphcore
+
+type t
+
+val build : Decompose.t -> t
+
+val trussness : t -> Edge_key.t -> int option
+
+val kmax : t -> int
+
+val truss_edges : t -> int -> Edge_key.t list
+(** Edges with trussness at least [k], O(answer). *)
+
+val k_class : t -> int -> Edge_key.t list
+(** Edges with trussness exactly [k], O(answer). *)
+
+val truss_size : t -> int -> int
+(** |T_k| in O(1). *)
+
+val class_bounds : t -> (int * int) list
+(** [(k, |T_k|)] for every k from 2 to kmax. *)

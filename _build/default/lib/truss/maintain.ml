@@ -1,0 +1,161 @@
+open Graphcore
+
+type delta = { promoted : Edge_key.t list; new_size : int }
+
+let k_truss_after_insert ~g ~old_truss ~k ~inserted =
+  let threshold = k - 2 in
+  (* Temporarily apply the insertions; undo before returning. *)
+  let applied =
+    List.filter_map
+      (fun (u, v) -> if u <> v && Graph.add_edge g u v then Some (u, v) else None)
+      inserted
+  in
+  let finish promoted =
+    List.iter (fun (u, v) -> ignore (Graph.remove_edge g u v)) applied;
+    { promoted; new_size = Hashtbl.length old_truss + List.length promoted }
+  in
+  if applied = [] then finish []
+  else begin
+    let in_old key = Hashtbl.mem old_truss key in
+    (* Region growth: BFS over triangle adjacency from the inserted edges.
+       Every promoted edge is triangle-connected to an inserted edge through
+       triangles lying inside the new truss, so it suffices to walk
+       triangles all of whose edges pass the necessary membership filter
+       (support >= k - 2 in the updated graph, or already in the truss). *)
+    let filter_cache = Hashtbl.create 256 in
+    let passes key =
+      match Hashtbl.find_opt filter_cache key with
+      | Some b -> b
+      | None ->
+        let u, v = Edge_key.endpoints key in
+        let b =
+          in_old key
+          || (Graph.mem_edge g u v && Graph.count_common_neighbors g u v >= threshold)
+        in
+        Hashtbl.replace filter_cache key b;
+        b
+    in
+    let region = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    let consider key =
+      if (not (Hashtbl.mem region key)) && (not (in_old key)) && passes key then begin
+        Hashtbl.replace region key ();
+        Queue.push key queue
+      end
+    in
+    List.iter (fun (u, v) -> consider (Edge_key.make u v)) applied;
+    while not (Queue.is_empty queue) do
+      let key = Queue.pop queue in
+      let u, v = Edge_key.endpoints key in
+      Graph.iter_common_neighbors g u v (fun w ->
+          let e1 = Edge_key.make u w and e2 = Edge_key.make v w in
+          (* Expand only through triangles that could lie in the new truss:
+             the companion edge must pass the filter too. *)
+          if passes e2 then consider e1;
+          if passes e1 then consider e2)
+    done;
+    (* Peel the region with the old truss as fixed backdrop: supports count
+       triangles whose other two edges are in (region ∪ old truss). *)
+    let present key = Hashtbl.mem region key || in_old key in
+    let sup = Hashtbl.create (Hashtbl.length region) in
+    Hashtbl.iter
+      (fun key () ->
+        let u, v = Edge_key.endpoints key in
+        let s = ref 0 in
+        Graph.iter_common_neighbors g u v (fun w ->
+            if present (Edge_key.make u w) && present (Edge_key.make v w) then incr s);
+        Hashtbl.replace sup key !s)
+      region;
+    let removal = Queue.create () in
+    let removed = Hashtbl.create 64 in
+    Hashtbl.iter (fun key s -> if s < threshold then Queue.push key removal) sup;
+    while not (Queue.is_empty removal) do
+      let key = Queue.pop removal in
+      if not (Hashtbl.mem removed key) then begin
+        Hashtbl.replace removed key ();
+        let u, v = Edge_key.endpoints key in
+        Graph.iter_common_neighbors g u v (fun w ->
+            let e1 = Edge_key.make u w and e2 = Edge_key.make v w in
+            let alive e =
+              in_old e || (Hashtbl.mem region e && not (Hashtbl.mem removed e))
+            in
+            (* Invariant: sup counts triangles whose other two edges are
+               alive, so a removal discounts a triangle exactly once. *)
+            if alive e1 && alive e2 then begin
+              let decr e =
+                if Hashtbl.mem region e && not (Hashtbl.mem removed e) then begin
+                  let s = Hashtbl.find sup e in
+                  Hashtbl.replace sup e (s - 1);
+                  if s - 1 < threshold then Queue.push e removal
+                end
+              in
+              decr e1;
+              decr e2
+            end)
+      end
+    done;
+    let promoted =
+      Hashtbl.fold (fun key () acc -> if Hashtbl.mem removed key then acc else key :: acc)
+        region []
+    in
+    finish promoted
+  end
+
+type delta_del = { demoted : Edge_key.t list; remaining : int }
+
+let k_truss_after_delete ~g ~old_truss ~k ~deleted =
+  let threshold = k - 2 in
+  let applied =
+    List.filter_map
+      (fun (u, v) -> if u <> v && Graph.remove_edge g u v then Some (u, v) else None)
+      deleted
+  in
+  let finish demoted =
+    List.iter (fun (u, v) -> ignore (Graph.add_edge g u v)) applied;
+    { demoted; remaining = Hashtbl.length old_truss - List.length demoted }
+  in
+  if applied = [] then finish []
+  else begin
+    (* Truss edges withdrawn outright by the deletion. *)
+    let removed = Hashtbl.create 16 in
+    List.iter
+      (fun (u, v) ->
+        let key = Edge_key.make u v in
+        if Hashtbl.mem old_truss key then Hashtbl.replace removed key ())
+      applied;
+    let alive key =
+      Hashtbl.mem old_truss key && (not (Hashtbl.mem removed key)) && Graph.mem_edge_key g key
+    in
+    (* Support of a truss edge counting only alive companions; always
+       recomputed against the current removal set, so no cache to keep
+       consistent. *)
+    let support key =
+      let u, v = Edge_key.endpoints key in
+      let s = ref 0 in
+      Graph.iter_common_neighbors g u v (fun w ->
+          if alive (Edge_key.make u w) && alive (Edge_key.make v w) then incr s);
+      !s
+    in
+    let queue = Queue.create () in
+    let enqueue_partners u v =
+      (* all alive truss edges that shared a triangle with (u, v): they just
+         lost one supporting triangle *)
+      let push key = if alive key then Queue.push key queue in
+      Graph.iter_neighbors g u (fun w -> if w <> v then push (Edge_key.make u w));
+      Graph.iter_neighbors g v (fun w -> if w <> u then push (Edge_key.make v w))
+    in
+    List.iter (fun (u, v) -> enqueue_partners u v) applied;
+    while not (Queue.is_empty queue) do
+      let key = Queue.pop queue in
+      if alive key && support key < threshold then begin
+        Hashtbl.replace removed key ();
+        let u, v = Edge_key.endpoints key in
+        enqueue_partners u v
+      end
+    done;
+    finish (Hashtbl.fold (fun key () acc -> key :: acc) removed [])
+  end
+
+let insert_and_decompose g edges =
+  List.iter (fun (u, v) -> if u <> v then ignore (Graph.add_edge g u v)) edges;
+  Decompose.run g

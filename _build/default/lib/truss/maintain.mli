@@ -1,0 +1,55 @@
+(** Incremental k-truss maintenance under edge insertions.
+
+    Inserting edges can only grow the k-truss, and every promoted edge is
+    triangle-connected (inside the new truss) to some inserted edge.  So the
+    new truss can be computed exactly by (1) growing a candidate region from
+    the inserted edges over triangle adjacency, filtered to edges whose
+    support in the updated graph reaches [k - 2], then (2) peeling that
+    region with the old truss as an unpeelable backdrop.  This is the
+    verification primitive the maximization algorithms call in their inner
+    loops; a full {!Truss_query} pass over the updated graph gives the same
+    answer and is used as the test oracle. *)
+
+open Graphcore
+
+type delta = {
+  promoted : Edge_key.t list;
+      (** edges of the new k-truss that were not in the old one (inserted
+          edges that made it into the truss included) *)
+  new_size : int;  (** total edge count of the new k-truss *)
+}
+
+type delta_del = {
+  demoted : Edge_key.t list;
+      (** edges of the old k-truss no longer in the new one (deleted truss
+          edges included) *)
+  remaining : int;  (** total edge count of the new k-truss *)
+}
+
+val k_truss_after_insert :
+  g:Graph.t ->
+  old_truss:(Edge_key.t, unit) Hashtbl.t ->
+  k:int ->
+  inserted:(int * int) list ->
+  delta
+(** [g] must be the graph {e without} the inserted edges; it is mutated
+    during the computation but restored before returning.  [old_truss] must
+    be the k-truss edge set of [g].  Inserted pairs already present in [g]
+    are ignored. *)
+
+val k_truss_after_delete :
+  g:Graph.t ->
+  old_truss:(Edge_key.t, unit) Hashtbl.t ->
+  k:int ->
+  deleted:(int * int) list ->
+  delta_del
+(** Symmetric to insertion: deletions only shrink the k-truss, and every
+    demoted edge is triangle-connected (inside the old truss) to a deleted
+    edge, so growing a region from the deletions and peeling it against the
+    untouched remainder is exact.  [g] must be the graph {e with} the edges
+    still present; it is mutated during the computation but restored.
+    Deleted pairs absent from [g] are ignored. *)
+
+val insert_and_decompose : Graph.t -> (int * int) list -> Decompose.t
+(** Reference path: mutate [g] by inserting the edges (permanently) and run
+    a full decomposition on the result. *)

@@ -1,0 +1,42 @@
+(** Onion layers (Definitions 5 and 8 of the paper).
+
+    Peeling the candidate edges of a component toward the k-truss proceeds in
+    synchronous rounds: round [l] removes every still-present candidate whose
+    support (counted in the remaining subgraph) is below [k - 2].  The round
+    in which an edge disappears is its onion layer — layer 1 edges are the
+    most fragile, higher layers are peeled later and are thus "deeper".
+    Backdrop edges (the k-truss itself) are never peeled.
+
+    The same routine computes both the within-class layers of Definition 5
+    (candidates = the (k-1)-class, backdrop = T_k) and the general layers of
+    Definition 8 (candidates = a general component with trussness in
+    [k-h, k), backdrop = T_k). *)
+
+open Graphcore
+
+type result = {
+  layer : (Edge_key.t, int) Hashtbl.t;  (** layer of every candidate, >= 1 *)
+  max_layer : int;
+  rounds : int;  (** number of peeling rounds executed *)
+}
+
+val peel : h:Graph.t -> k:int -> candidates:Edge_key.t list -> result
+(** [peel ~h ~k ~candidates] peels [candidates] inside the subgraph [h]
+    (which must contain every candidate; all other [h] edges form the
+    backdrop).  [h] is consumed: the function removes edges from it.
+
+    Candidates that never fall below the support threshold would belong to
+    the k-truss — impossible when trussness was computed correctly — but the
+    function is total: any such edges are assigned [max_layer] and the loop
+    terminates. *)
+
+val build_h :
+  g:Graph.t ->
+  backdrop:(Edge_key.t, unit) Hashtbl.t ->
+  candidates:Edge_key.t list ->
+  Graph.t
+(** Subgraph of [g] containing the candidates plus every backdrop edge with
+    at least one endpoint among the candidate nodes — a safe local
+    restriction of [T_k ∪ E_c]: any triangle through a candidate edge
+    [(u,v)] uses two edges incident to [u] and [v], so candidate supports in
+    this subgraph equal those in the full [T_k ∪ E_c]. *)

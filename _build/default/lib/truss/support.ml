@@ -1,0 +1,13 @@
+open Graphcore
+
+let of_edge g u v = Graph.count_common_neighbors g u v
+
+let all g =
+  let tbl = Hashtbl.create (Graph.num_edges g) in
+  Graph.iter_edges g (fun u v -> Hashtbl.replace tbl (Edge_key.make u v) (of_edge g u v));
+  tbl
+
+let sum g =
+  let acc = ref 0 in
+  Graph.iter_edges g (fun u v -> acc := !acc + of_edge g u v);
+  !acc

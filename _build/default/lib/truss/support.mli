@@ -1,0 +1,15 @@
+(** Edge support (triangle count) computation.
+
+    [sup_G(u, v) = |N(u) ∩ N(v)|] — the quantity the k-truss constraint
+    bounds from below by [k - 2]. *)
+
+open Graphcore
+
+val of_edge : Graph.t -> int -> int -> int
+(** Support of one (possibly absent) edge in the graph. *)
+
+val all : Graph.t -> (Edge_key.t, int) Hashtbl.t
+(** Supports of every edge of the graph. *)
+
+val sum : Graph.t -> int
+(** Sum of all supports = 3 x number of triangles. *)

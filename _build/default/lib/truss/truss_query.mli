@@ -1,0 +1,20 @@
+(** Direct k-truss extraction for a fixed [k].
+
+    Cheaper than a full decomposition when only one truss level matters —
+    the peeling threshold is fixed at [k - 2], so a single cascade suffices.
+    This is the verification primitive behind every score the maximization
+    algorithms report. *)
+
+open Graphcore
+
+val k_truss_edges : Graph.t -> k:int -> (Edge_key.t, unit) Hashtbl.t
+(** Edge set of the k-truss of [g] ([g] unchanged). *)
+
+val k_truss : Graph.t -> k:int -> Graph.t
+(** The k-truss as a graph. *)
+
+val k_truss_size : Graph.t -> k:int -> int
+
+val is_k_truss : Graph.t -> k:int -> bool
+(** Does every edge of [g] itself have support at least [k - 2] in [g]?
+    (I.e., is [g] its own k-truss.) *)

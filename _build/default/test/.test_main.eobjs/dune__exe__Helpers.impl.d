@@ -1,0 +1,1 @@
+test/helpers.ml: Array Edge_key Gen Graph Graphcore Hashtbl List QCheck2 QCheck_alcotest Rng Truss

@@ -1,0 +1,1 @@
+test/test_anchor.ml: Alcotest Anchor Edge_key Fun Graph Graphcore Hashtbl Helpers List Maxtruss QCheck2 Truss

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Gen Graph Graphcore Helpers List Maxtruss Outcome Pcfr Rng Unix

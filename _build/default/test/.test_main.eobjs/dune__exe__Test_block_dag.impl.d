@@ -1,0 +1,1 @@
+test/test_block_dag.ml: Alcotest Array Block_dag Edge_key Fun Graph Graphcore Hashtbl Helpers List Maxtruss QCheck2 Score Truss

@@ -1,0 +1,1 @@
+test/test_bucket_queue.ml: Alcotest Bucket_queue Graphcore Hashtbl Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_candidate.ml: Alcotest Array Candidate Edge_key Graph Graphcore Hashtbl Helpers List Maxtruss QCheck2 Truss

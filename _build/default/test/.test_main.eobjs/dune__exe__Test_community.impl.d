@@ -1,0 +1,1 @@
+test/test_community.ml: Alcotest Array Edge_key Graph Graphcore Helpers List QCheck2 Truss

@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Edge_key Graph Graphcore Hashtbl Helpers List QCheck2 Truss

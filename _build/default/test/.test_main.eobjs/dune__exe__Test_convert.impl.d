@@ -1,0 +1,1 @@
+test/test_convert.ml: Alcotest Convert Edge_key Graph Graphcore Hashtbl Helpers List Maxtruss QCheck2 Score Truss

@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Datasets Graph Graphcore List Truss

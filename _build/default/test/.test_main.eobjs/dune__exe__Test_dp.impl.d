@@ -1,0 +1,1 @@
+test/test_dp.ml: Alcotest Array Dp Edge_key Graphcore Helpers List Maxtruss Plan Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_edge_key.ml: Alcotest Edge_key Graphcore Helpers QCheck2

@@ -1,0 +1,1 @@
+test/test_exact.ml: Alcotest Array Candidate Exact Graph Graphcore Helpers Maxtruss Outcome Pcfr QCheck2 Truss

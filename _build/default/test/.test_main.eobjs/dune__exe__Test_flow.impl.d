@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Dinic Flow Flow_network Helpers List Min_cut QCheck2

@@ -1,0 +1,1 @@
+test/test_flow_plan.ml: Alcotest Block_dag Flow_plan Graph Graphcore Helpers List Maxtruss QCheck2 Score Truss

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Gen Graph Graphcore Gstats List Rng Truss

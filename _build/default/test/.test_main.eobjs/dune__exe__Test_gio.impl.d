@@ -1,0 +1,1 @@
+test/test_gio.ml: Alcotest Filename Fun Gen Gio Graph Graphcore Rng Sys

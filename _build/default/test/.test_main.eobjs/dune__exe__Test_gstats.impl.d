@@ -1,0 +1,1 @@
+test/test_gstats.ml: Alcotest Array Graph Graphcore Gstats Helpers List QCheck2 Truss

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Edge_key Graph Graphcore Helpers List QCheck2 Truss

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Dp Gen Graph Graphcore List Maxtruss Outcome Pcfr Rng Score Truss

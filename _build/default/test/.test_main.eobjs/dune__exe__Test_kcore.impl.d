@@ -1,0 +1,1 @@
+test/test_kcore.ml: Alcotest Edge_key Gen Graph Graphcore Helpers Kcore List QCheck2 Rng Truss

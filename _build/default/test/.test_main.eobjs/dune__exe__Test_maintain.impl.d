@@ -1,0 +1,1 @@
+test/test_maintain.ml: Alcotest Graph Graphcore Hashtbl Helpers List QCheck2 Truss

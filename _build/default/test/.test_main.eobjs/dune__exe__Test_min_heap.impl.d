@@ -1,0 +1,1 @@
+test/test_min_heap.ml: Alcotest Graphcore Helpers Int List Min_heap QCheck2

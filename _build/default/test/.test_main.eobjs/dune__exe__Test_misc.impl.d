@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Block_dag Convert Datasets Edge_key Flow_plan Format Gio Graph Graphcore Hashtbl Helpers List Maxtruss Plan QCheck2 Score Truss

@@ -1,0 +1,1 @@
+test/test_onion.ml: Alcotest Edge_key Graph Graphcore Hashtbl Helpers List Maxtruss QCheck2 Truss

@@ -1,0 +1,1 @@
+test/test_outcome.ml: Alcotest Array Baselines Convert Graph Graphcore Helpers List Maxtruss Outcome QCheck2 Rng Score Truss

@@ -1,0 +1,1 @@
+test/test_pcfr.ml: Alcotest Baselines Gen Graph Graphcore Helpers List Maxtruss Outcome Pcfr Printf QCheck2 Rng Score Truss

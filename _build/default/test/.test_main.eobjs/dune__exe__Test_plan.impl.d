@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Edge_key Graphcore Helpers List Maxtruss Plan QCheck2

@@ -1,0 +1,1 @@
+test/test_random_interp.ml: Alcotest Graph Graphcore Helpers List Maxtruss Plan QCheck2 Random_interp Rng Score Truss

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Graphcore Helpers List Printf QCheck2 Rng

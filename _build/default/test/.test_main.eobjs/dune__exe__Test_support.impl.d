@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Edge_key Graph Graphcore Hashtbl Helpers QCheck2 Truss

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Array Graphcore Hashtbl Helpers List QCheck2 Union_find

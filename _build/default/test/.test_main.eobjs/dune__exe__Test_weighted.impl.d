@@ -1,0 +1,1 @@
+test/test_weighted.ml: Alcotest Edge_key Gen Graph Graphcore Helpers List Maxtruss Plan QCheck2 Rng Score Weighted

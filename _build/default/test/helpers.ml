@@ -1,0 +1,108 @@
+(* Shared fixtures and qcheck generators for the test suites. *)
+
+open Graphcore
+
+(* Figure 1 of the paper: K5 grey core {a..e} plus two symmetric 3-class
+   components.  a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10. *)
+let fig1 () =
+  Graph.of_edges
+    [
+      (0, 1); (0, 2); (0, 3); (0, 4); (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4);
+      (0, 7); (5, 7); (0, 5); (2, 5); (2, 8); (5, 8);
+      (1, 9); (6, 9); (1, 6); (3, 6); (3, 10); (6, 10);
+    ]
+
+let fig1_c1_edges =
+  List.map (fun (u, v) -> Edge_key.make u v) [ (0, 7); (5, 7); (0, 5); (2, 5); (2, 8); (5, 8) ]
+
+let triangle () = Graph.of_edges [ (0, 1); (1, 2); (0, 2) ]
+
+let path n = Graph.of_edges (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle n = Graph.of_edges ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let clique n = Gen.complete n
+
+(* Two K5s sharing a single edge: classic truss fixture. *)
+let two_cliques_shared_edge () =
+  let g = Graph.create () in
+  for u = 0 to 4 do
+    for v = u + 1 to 4 do
+      ignore (Graph.add_edge g u v)
+    done
+  done;
+  let nodes = [| 0; 1; 5; 6; 7 |] in
+  Array.iteri
+    (fun i u ->
+      Array.iteri (fun j v -> if i < j then ignore (Graph.add_edge g u v)) nodes)
+    nodes;
+  g
+
+(* Random simple graph on [n] nodes with edge probability ~p, as an edge
+   list (deterministic given the qcheck-provided ints). *)
+let random_graph_gen ?(max_n = 12) () =
+  let open QCheck2.Gen in
+  let* n = int_range 3 max_n in
+  let* seed = int_range 0 1_000_000 in
+  let* density = int_range 15 70 in
+  let rng = Rng.create seed in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.int rng 100 < density then edges := (u, v) :: !edges
+    done
+  done;
+  return !edges
+
+let graph_of_edges edges = Graph.of_edges edges
+
+(* Graph made of node-disjoint noisy near-cliques: its (k-1)-class
+   components are genuinely independent (no cross-component triangles), the
+   regime the paper's budget-assignment DP assumes. *)
+let clustered_graph_gen () =
+  let open QCheck2.Gen in
+  let* n_clusters = int_range 2 4 in
+  let* seed = int_range 0 1_000_000 in
+  let rng = Rng.create seed in
+  let edges = ref [] in
+  for c = 0 to n_clusters - 1 do
+    let base = c * 12 in
+    let size = Rng.int_in rng 5 8 in
+    for i = 0 to size - 1 do
+      for j = i + 1 to size - 1 do
+        if Rng.int rng 100 < 80 then edges := (base + i, base + j) :: !edges
+      done
+    done
+  done;
+  return !edges
+
+(* Naive trussness oracle: repeatedly extract the maximal subgraph whose
+   edges all have support >= k - 2, for increasing k. *)
+let oracle_trussness g =
+  let tau = Hashtbl.create 64 in
+  let remaining = ref (Graph.copy g) in
+  let k = ref 2 in
+  while Graph.num_edges !remaining > 0 do
+    let cur = !remaining in
+    (* Peel edges below the (k+1)-truss threshold; removed edges have
+       trussness exactly k. *)
+    let next = Graph.copy cur in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Graph.iter_edges next (fun u v ->
+          if Truss.Support.of_edge next u v < !k + 1 - 2 then begin
+            ignore (Graph.remove_edge next u v);
+            changed := true
+          end)
+    done;
+    Graph.iter_edges cur (fun u v ->
+        if not (Graph.mem_edge next u v) then Hashtbl.replace tau (Edge_key.make u v) !k);
+    remaining := next;
+    incr k
+  done;
+  tau
+
+let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let qtest = QCheck_alcotest.to_alcotest

@@ -1,0 +1,85 @@
+open Graphcore
+open Maxtruss
+
+let small_social () =
+  let rng = Rng.create 31 in
+  let base = Gen.powerlaw_cluster ~rng ~n:150 ~m:5 ~p:0.6 in
+  Gen.with_communities ~rng ~base ~communities:6 ~size_min:8 ~size_max:12 ~drop:0.25
+
+let test_rd_respects_budget () =
+  let g = small_social () in
+  let o = Baselines.rd ~rng:(Rng.create 1) ~g ~k:6 ~budget:15 in
+  Alcotest.(check bool) "at most b insertions" true (List.length o.Outcome.inserted <= 15);
+  Alcotest.(check bool) "score verified non-negative" true (o.Outcome.score >= 0)
+
+let test_rd_inserts_new_edges () =
+  let g = small_social () in
+  let o = Baselines.rd ~rng:(Rng.create 2) ~g ~k:6 ~budget:10 in
+  List.iter
+    (fun (u, v) ->
+      if Graph.mem_edge g u v then Alcotest.failf "RD proposed existing edge (%d,%d)" u v)
+    o.Outcome.inserted
+
+let test_rd_graph_untouched () =
+  let g = small_social () in
+  let before = Graph.num_edges g in
+  ignore (Baselines.rd ~rng:(Rng.create 3) ~g ~k:6 ~budget:10);
+  Alcotest.(check int) "graph unchanged" before (Graph.num_edges g)
+
+let test_cbtm_fig1 () =
+  let g = Helpers.fig1 () in
+  let o = Baselines.cbtm ~g ~k:4 ~budget:2 in
+  Alcotest.(check int) "CBTM converts one component" 8 o.Outcome.score;
+  let o4 = Baselines.cbtm ~g ~k:4 ~budget:4 in
+  Alcotest.(check int) "CBTM converts both with b=4" 16 o4.Outcome.score
+
+let test_cbtm_zero_budget () =
+  let g = Helpers.fig1 () in
+  let o = Baselines.cbtm ~g ~k:4 ~budget:0 in
+  Alcotest.(check int) "nothing inserted" 0 (List.length o.Outcome.inserted)
+
+let test_cbtm_revenues_single_pair () =
+  let g = Helpers.fig1 () in
+  let revenues = Baselines.cbtm_revenues ~g ~k:4 ~budget:10 in
+  Alcotest.(check int) "one menu per component" 2 (Array.length revenues);
+  Array.iter
+    (fun menu -> Alcotest.(check bool) "at most one pair" true (List.length menu <= 1))
+    revenues
+
+let test_gtm_fig1 () =
+  let g = Helpers.fig1 () in
+  let o = Baselines.gtm ~g ~k:4 ~budget:4 () in
+  Alcotest.(check bool) "GTM achieves something" true (o.Outcome.score > 0);
+  Alcotest.(check bool) "budget respected" true (List.length o.Outcome.inserted <= 4)
+
+let test_gtm_respects_time_limit () =
+  let g = small_social () in
+  let t0 = Unix.gettimeofday () in
+  let o = Baselines.gtm ~g ~k:6 ~budget:1000 ~time_limit_s:0.2 () in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "bounded wall clock" true (elapsed < 10.0);
+  ignore o
+
+let test_ordering_on_small_social () =
+  (* The headline shape: PCFR beats every baseline. *)
+  let g = small_social () in
+  let k = 6 and budget = 30 in
+  let rd = Baselines.rd ~rng:(Rng.create 4) ~g ~k ~budget in
+  let cbtm = Baselines.cbtm ~g ~k ~budget in
+  let pcfr = Pcfr.pcfr ~g ~k ~budget () in
+  Alcotest.(check bool) "PCFR >= CBTM" true
+    (pcfr.Pcfr.outcome.Outcome.score >= cbtm.Outcome.score);
+  Alcotest.(check bool) "PCFR >= RD" true (pcfr.Pcfr.outcome.Outcome.score >= rd.Outcome.score)
+
+let suite =
+  [
+    Alcotest.test_case "RD respects budget" `Quick test_rd_respects_budget;
+    Alcotest.test_case "RD inserts new edges" `Quick test_rd_inserts_new_edges;
+    Alcotest.test_case "RD leaves graph untouched" `Quick test_rd_graph_untouched;
+    Alcotest.test_case "CBTM on fig1" `Quick test_cbtm_fig1;
+    Alcotest.test_case "CBTM zero budget" `Quick test_cbtm_zero_budget;
+    Alcotest.test_case "CBTM revenues are binary" `Quick test_cbtm_revenues_single_pair;
+    Alcotest.test_case "GTM on fig1" `Quick test_gtm_fig1;
+    Alcotest.test_case "GTM time limit" `Quick test_gtm_respects_time_limit;
+    Alcotest.test_case "ordering on small social" `Slow test_ordering_on_small_social;
+  ]

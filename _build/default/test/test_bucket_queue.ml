@@ -1,0 +1,98 @@
+open Graphcore
+
+let test_basic_pop_order () =
+  let q = Bucket_queue.create ~max_priority:10 in
+  Bucket_queue.add q 100 5;
+  Bucket_queue.add q 200 2;
+  Bucket_queue.add q 300 8;
+  Alcotest.(check (option (pair int int))) "min first" (Some (200, 2)) (Bucket_queue.pop_min q);
+  Alcotest.(check (option (pair int int))) "then 5" (Some (100, 5)) (Bucket_queue.pop_min q);
+  Alcotest.(check (option (pair int int))) "then 8" (Some (300, 8)) (Bucket_queue.pop_min q);
+  Alcotest.(check (option (pair int int))) "empty" None (Bucket_queue.pop_min q)
+
+let test_update_decrease () =
+  let q = Bucket_queue.create ~max_priority:10 in
+  Bucket_queue.add q 1 9;
+  Bucket_queue.add q 2 5;
+  Bucket_queue.update q 1 3;
+  Alcotest.(check (option (pair int int))) "decreased wins" (Some (1, 3)) (Bucket_queue.pop_min q)
+
+let test_remove () =
+  let q = Bucket_queue.create ~max_priority:10 in
+  Bucket_queue.add q 1 1;
+  Bucket_queue.add q 2 2;
+  Bucket_queue.remove q 1;
+  Alcotest.(check int) "one left" 1 (Bucket_queue.cardinal q);
+  Alcotest.(check (option (pair int int))) "other pops" (Some (2, 2)) (Bucket_queue.pop_min q)
+
+let test_priority_lookup () =
+  let q = Bucket_queue.create ~max_priority:10 in
+  Bucket_queue.add q 7 4;
+  Alcotest.(check (option int)) "lookup" (Some 4) (Bucket_queue.priority q 7);
+  Alcotest.(check (option int)) "absent" None (Bucket_queue.priority q 8)
+
+let test_clamping () =
+  let q = Bucket_queue.create ~max_priority:5 in
+  Bucket_queue.add q 1 100;
+  Alcotest.(check (option int)) "clamped to max" (Some 5) (Bucket_queue.priority q 1);
+  Bucket_queue.add q 2 (-3);
+  Alcotest.(check (option int)) "clamped to zero" (Some 0) (Bucket_queue.priority q 2)
+
+let test_replace_existing () =
+  let q = Bucket_queue.create ~max_priority:10 in
+  Bucket_queue.add q 1 3;
+  Bucket_queue.add q 1 7;
+  Alcotest.(check int) "still one item" 1 (Bucket_queue.cardinal q);
+  Alcotest.(check (option int)) "new priority" (Some 7) (Bucket_queue.priority q 1)
+
+(* Model-based test against a naive association list, restricted to the
+   monotone usage pattern (priorities only decrease), which is the truss
+   peeling regime the cursor optimization assumes. *)
+let prop_model =
+  QCheck2.Test.make ~name:"bucket queue matches naive model under monotone decreases"
+    ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 9) (int_range 0 20)))
+    (fun ops ->
+      let q = Bucket_queue.create ~max_priority:25 in
+      let model = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iter
+        (fun (op, arg) ->
+          match op with
+          | 0 | 1 | 2 | 3 ->
+            (* insert a fresh item or decrease an existing one *)
+            let item = arg mod 10 in
+            let p =
+              match Hashtbl.find_opt model item with
+              | Some old -> max 0 (old - 1 - (arg mod 3))
+              | None -> arg
+            in
+            Bucket_queue.add q item p;
+            Hashtbl.replace model item p
+          | 4 ->
+            let item = arg mod 10 in
+            Bucket_queue.remove q item;
+            Hashtbl.remove model item
+          | _ -> (
+            match Bucket_queue.pop_min q with
+            | None -> if Hashtbl.length model <> 0 then ok := false
+            | Some (item, p) ->
+              let expected = Hashtbl.fold (fun _ p acc -> min p acc) model max_int in
+              if p <> expected then ok := false;
+              (match Hashtbl.find_opt model item with
+              | Some mp when mp = p -> ()
+              | _ -> ok := false);
+              Hashtbl.remove model item))
+        ops;
+      !ok && Bucket_queue.cardinal q = Hashtbl.length model)
+
+let suite =
+  [
+    Alcotest.test_case "pop order" `Quick test_basic_pop_order;
+    Alcotest.test_case "decrease priority" `Quick test_update_decrease;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "priority lookup" `Quick test_priority_lookup;
+    Alcotest.test_case "clamping" `Quick test_clamping;
+    Alcotest.test_case "replace existing" `Quick test_replace_existing;
+    Helpers.qtest prop_model;
+  ]

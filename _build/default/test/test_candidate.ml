@@ -1,0 +1,92 @@
+open Graphcore
+open Maxtruss
+
+let test_fig1_pool_contains_key_candidates () =
+  let g = Helpers.fig1 () in
+  let pool = Candidate.pool ~g ~component:Helpers.fig1_c1_edges () in
+  let mem key = Array.exists (Edge_key.equal key) pool in
+  (* (c,h) = (2,7) and (a,i) = (0,8) are the paper's insertions *)
+  Alcotest.(check bool) "(c,h) in pool" true (mem (Edge_key.make 2 7));
+  Alcotest.(check bool) "(a,i) in pool" true (mem (Edge_key.make 0 8))
+
+let test_pool_excludes_existing_edges () =
+  let g = Helpers.fig1 () in
+  let pool = Candidate.pool ~g ~component:Helpers.fig1_c1_edges () in
+  Array.iter
+    (fun key ->
+      let u, v = Edge_key.endpoints key in
+      if Graph.mem_edge g u v then Alcotest.failf "existing edge in pool: (%d,%d)" u v)
+    pool
+
+let test_pool_candidates_close_triangles () =
+  let g = Helpers.fig1 () in
+  let comp = Helpers.fig1_c1_edges in
+  let comp_tbl = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace comp_tbl k ()) comp;
+  let pool = Candidate.pool ~g ~component:comp () in
+  Array.iter
+    (fun key ->
+      let y, z = Edge_key.endpoints key in
+      (* there must exist x with (x,y) or (x,z) in the component and the
+         other edge in the graph *)
+      let witnessed = ref false in
+      Graph.iter_common_neighbors g y z (fun x ->
+          if Hashtbl.mem comp_tbl (Edge_key.make x y) || Hashtbl.mem comp_tbl (Edge_key.make x z)
+          then witnessed := true);
+      if not !witnessed then
+        Alcotest.failf "candidate (%d,%d) closes no component triangle" y z)
+    pool
+
+let test_max_size_truncates () =
+  let g = Helpers.fig1 () in
+  let pool = Candidate.pool ~g ~component:Helpers.fig1_c1_edges ~max_size:3 () in
+  Alcotest.(check int) "truncated" 3 (Array.length pool)
+
+let test_stable_pool_filter () =
+  let g = Helpers.fig1 () in
+  let stable = Candidate.stable_pool ~g ~component:Helpers.fig1_c1_edges ~k:4 () in
+  Array.iter
+    (fun key ->
+      let u, v = Edge_key.endpoints key in
+      if Graph.count_common_neighbors g u v < 2 then
+        Alcotest.failf "unstable candidate (%d,%d)" u v)
+    stable;
+  Alcotest.(check bool) "stable pool non-empty" true (Array.length stable > 0)
+
+let test_forbidden_graph () =
+  let g = Helpers.fig1 () in
+  let forbidden = Graph.of_edges [ (2, 7) ] in
+  let pool = Candidate.pool ~g ~component:Helpers.fig1_c1_edges ~forbidden () in
+  Alcotest.(check bool) "(2,7) filtered out" false
+    (Array.exists (Edge_key.equal (Edge_key.make 2 7)) pool)
+
+let test_empty_component () =
+  let g = Helpers.fig1 () in
+  Alcotest.(check int) "empty pool" 0 (Array.length (Candidate.pool ~g ~component:[] ()))
+
+let prop_pool_sound =
+  QCheck2.Test.make ~name:"pool candidates are absent from the graph" ~count:80
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let comp = Truss.Decompose.k_class dec 3 in
+      let pool = Candidate.pool ~g ~component:comp () in
+      Array.for_all
+        (fun key ->
+          let u, v = Edge_key.endpoints key in
+          not (Graph.mem_edge g u v))
+        pool)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 pool has paper candidates" `Quick test_fig1_pool_contains_key_candidates;
+    Alcotest.test_case "excludes existing edges" `Quick test_pool_excludes_existing_edges;
+    Alcotest.test_case "candidates close triangles" `Quick test_pool_candidates_close_triangles;
+    Alcotest.test_case "max_size truncates" `Quick test_max_size_truncates;
+    Alcotest.test_case "stable pool filter" `Quick test_stable_pool_filter;
+    Alcotest.test_case "forbidden graph" `Quick test_forbidden_graph;
+    Alcotest.test_case "empty component" `Quick test_empty_component;
+    Helpers.qtest prop_pool_sound;
+  ]

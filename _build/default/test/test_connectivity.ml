@@ -1,0 +1,129 @@
+open Graphcore
+
+let test_fig1_components () =
+  let g = Helpers.fig1 () in
+  let dec = Truss.Decompose.run g in
+  let comps = Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:4 in
+  Alcotest.(check (list int)) "two components of six" [ 6; 6 ]
+    (List.map List.length comps)
+
+let test_fig1_component_membership () =
+  let g = Helpers.fig1 () in
+  let dec = Truss.Decompose.run g in
+  let comps = Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:4 in
+  (* C1 (nodes a,c,f,h,i = 0,2,5,7,8) must be one component *)
+  let c1 = List.sort compare Helpers.fig1_c1_edges in
+  let found = List.exists (fun c -> List.sort compare c = c1) comps in
+  Alcotest.(check bool) "C1 is a component" true found
+
+let test_empty_class () =
+  let g = Helpers.clique 5 in
+  let dec = Truss.Decompose.run g in
+  Alcotest.(check int) "no 3-class in a clique" 0
+    (List.length (Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:4))
+
+let test_components_sorted_by_size () =
+  let g = Helpers.fig1 () in
+  (* attach an extra small 3-class triangle cluster *)
+  ignore (Graph.add_edge g 20 21);
+  ignore (Graph.add_edge g 21 22);
+  ignore (Graph.add_edge g 20 22);
+  let dec = Truss.Decompose.run g in
+  let comps = Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:4 in
+  let sizes = List.map List.length comps in
+  Alcotest.(check (list int)) "largest first" [ 6; 6; 3 ] sizes
+
+let test_component_nodes () =
+  let nodes = Truss.Connectivity.component_nodes Helpers.fig1_c1_edges in
+  Alcotest.(check (list int)) "C1 nodes" [ 0; 2; 5; 7; 8 ] (List.sort compare nodes)
+
+let test_general_components_include_lower_classes () =
+  let g = Helpers.fig1 () in
+  let dec = Truss.Decompose.run g in
+  (* lo=3, hi=5 picks up the whole 3-class (and any 4-class, here none) *)
+  let comps = Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:5 in
+  let total = List.fold_left (fun acc c -> acc + List.length c) 0 comps in
+  Alcotest.(check int) "all 3-class edges covered" 12 total
+
+let prop_partition =
+  QCheck2.Test.make ~name:"components partition the class" ~count:80
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let k = 3 in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:k ~hi:(k + 1) in
+      let all = List.concat comps |> List.sort compare in
+      let expected = Truss.Decompose.k_class dec k |> List.sort compare in
+      all = expected)
+
+let prop_pairwise_disjoint =
+  QCheck2.Test.make ~name:"components are pairwise disjoint" ~count:80
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:4 in
+      let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun c ->
+          List.for_all
+            (fun key ->
+              if Hashtbl.mem seen key then false
+              else begin
+                Hashtbl.replace seen key ();
+                true
+              end)
+            c)
+        comps)
+
+let prop_members_connected_via_triangles =
+  (* Weaker sanity check of cohesion: within a component of >= 2 edges,
+     every edge shares a triangle (in the lo-truss) with another member. *)
+  QCheck2.Test.make ~name:"each member touches another member through a triangle" ~count:60
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let lo = 3 in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo ~hi:4 in
+      List.for_all
+        (fun c ->
+          List.length c < 2
+          || begin
+               let members = Hashtbl.create 16 in
+               List.iter (fun key -> Hashtbl.replace members key ()) c;
+               List.for_all
+                 (fun key ->
+                   let u, v = Edge_key.endpoints key in
+                   let touches = ref false in
+                   Graph.iter_common_neighbors g u v (fun w ->
+                       let e1 = Edge_key.make u w and e2 = Edge_key.make v w in
+                       let tau e =
+                         match Truss.Decompose.trussness_opt dec e with
+                         | Some t -> t
+                         | None -> -1
+                       in
+                       if tau e1 >= lo && tau e2 >= lo then
+                         if Hashtbl.mem members e1 || Hashtbl.mem members e2 then
+                           touches := true);
+                   !touches)
+                 c
+             end)
+        comps)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 components" `Quick test_fig1_components;
+    Alcotest.test_case "fig1 membership" `Quick test_fig1_component_membership;
+    Alcotest.test_case "empty class" `Quick test_empty_class;
+    Alcotest.test_case "sorted by size" `Quick test_components_sorted_by_size;
+    Alcotest.test_case "component nodes" `Quick test_component_nodes;
+    Alcotest.test_case "general components" `Quick test_general_components_include_lower_classes;
+    Helpers.qtest prop_partition;
+    Helpers.qtest prop_pairwise_disjoint;
+    Helpers.qtest prop_members_connected_via_triangles;
+  ]

@@ -1,0 +1,55 @@
+open Graphcore
+
+let test_nine_datasets () =
+  Alcotest.(check int) "nine entries" 9 (List.length Datasets.Registry.all)
+
+let test_names_unique () =
+  let names = Datasets.Registry.names in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  let s = Datasets.Registry.find "facebook" in
+  Alcotest.(check string) "found" "facebook" s.Datasets.Registry.name;
+  match Datasets.Registry.find "nope" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found"
+
+let test_deterministic_builds () =
+  let spec = Datasets.Registry.find "enron" in
+  let a = spec.Datasets.Registry.build () in
+  let b = spec.Datasets.Registry.build () in
+  Alcotest.(check bool) "same graph twice" true (Graph.equal a b)
+
+let test_small_datasets_nontrivial () =
+  (* Cheap structural sanity on the two workhorse datasets: the default k
+     must leave a non-empty (k-1)-class split into several components. *)
+  List.iter
+    (fun name ->
+      let spec = Datasets.Registry.find name in
+      let g = spec.Datasets.Registry.build () in
+      let k = spec.Datasets.Registry.default_k in
+      let dec = Truss.Decompose.run g in
+      Alcotest.(check bool)
+        (name ^ " kmax exceeds default k")
+        true
+        (Truss.Decompose.kmax dec >= k);
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+      Alcotest.(check bool) (name ^ " has several components") true (List.length comps >= 3))
+    [ "facebook"; "enron" ]
+
+let test_shortcuts () =
+  Alcotest.(check bool) "syracuse shortcut" true
+    (Graph.num_edges (Datasets.Registry.syracuse ()) > 10000);
+  Alcotest.(check bool) "gowalla shortcut" true
+    (Graph.num_edges (Datasets.Registry.gowalla ()) > 10000)
+
+let suite =
+  [
+    Alcotest.test_case "nine datasets" `Quick test_nine_datasets;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "deterministic builds" `Slow test_deterministic_builds;
+    Alcotest.test_case "structure nontrivial" `Slow test_small_datasets_nontrivial;
+    Alcotest.test_case "shortcuts" `Slow test_shortcuts;
+  ]

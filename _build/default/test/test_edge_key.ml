@@ -1,0 +1,64 @@
+open Graphcore
+
+let test_normalization () =
+  Alcotest.(check int) "order independent" (Edge_key.make 3 7) (Edge_key.make 7 3)
+
+let test_endpoints () =
+  let u, v = Edge_key.endpoints (Edge_key.make 42 7) in
+  Alcotest.(check (pair int int)) "sorted endpoints" (7, 42) (u, v)
+
+let test_other () =
+  let k = Edge_key.make 5 9 in
+  Alcotest.(check int) "other of 5" 9 (Edge_key.other k 5);
+  Alcotest.(check int) "other of 9" 5 (Edge_key.other k 9)
+
+let test_other_invalid () =
+  let k = Edge_key.make 5 9 in
+  Alcotest.check_raises "not an endpoint"
+    (Invalid_argument "Edge_key.other: not an endpoint") (fun () ->
+      ignore (Edge_key.other k 3))
+
+let test_self_loop () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Edge_key.make: self-loop") (fun () ->
+      ignore (Edge_key.make 4 4))
+
+let test_out_of_range () =
+  Alcotest.check_raises "negative" (Invalid_argument "Edge_key.make: node id out of range")
+    (fun () -> ignore (Edge_key.make (-1) 4));
+  Alcotest.check_raises "too large" (Invalid_argument "Edge_key.make: node id out of range")
+    (fun () -> ignore (Edge_key.make 0 Edge_key.max_node))
+
+let test_large_ids () =
+  let a = Edge_key.max_node - 1 and b = Edge_key.max_node - 2 in
+  let k = Edge_key.make a b in
+  Alcotest.(check (pair int int)) "roundtrip at max" (b, a) (Edge_key.endpoints k)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"make/endpoints roundtrip" ~count:500
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 100000))
+    (fun (u, v) ->
+      QCheck2.assume (u <> v);
+      let a, b = Edge_key.endpoints (Edge_key.make u v) in
+      (a, b) = (min u v, max u v))
+
+let prop_injective =
+  QCheck2.Test.make ~name:"distinct edges get distinct keys" ~count:500
+    QCheck2.Gen.(
+      quad (int_range 0 5000) (int_range 0 5000) (int_range 0 5000) (int_range 0 5000))
+    (fun (u, v, x, y) ->
+      QCheck2.assume (u <> v && x <> y);
+      let same_edge = (min u v, max u v) = (min x y, max x y) in
+      Edge_key.equal (Edge_key.make u v) (Edge_key.make x y) = same_edge)
+
+let suite =
+  [
+    Alcotest.test_case "normalization" `Quick test_normalization;
+    Alcotest.test_case "endpoints" `Quick test_endpoints;
+    Alcotest.test_case "other" `Quick test_other;
+    Alcotest.test_case "other invalid" `Quick test_other_invalid;
+    Alcotest.test_case "self loop rejected" `Quick test_self_loop;
+    Alcotest.test_case "out of range rejected" `Quick test_out_of_range;
+    Alcotest.test_case "large ids" `Quick test_large_ids;
+    Helpers.qtest prop_roundtrip;
+    Helpers.qtest prop_injective;
+  ]

@@ -1,0 +1,210 @@
+open Flow
+
+(* Classic CLRS-style network with max flow 23. *)
+let clrs () =
+  let net = Flow_network.create ~nodes:6 in
+  let add src dst cap = ignore (Flow_network.add_arc net ~src ~dst ~cap) in
+  add 0 1 16;
+  add 0 2 13;
+  add 1 2 10;
+  add 2 1 4;
+  add 1 3 12;
+  add 3 2 9;
+  add 2 4 14;
+  add 4 3 7;
+  add 3 5 20;
+  add 4 5 4;
+  net
+
+let test_clrs_max_flow () =
+  Alcotest.(check int) "CLRS network flow" 23 (Dinic.max_flow (clrs ()) ~s:0 ~t:5)
+
+let test_single_arc () =
+  let net = Flow_network.create ~nodes:2 in
+  ignore (Flow_network.add_arc net ~src:0 ~dst:1 ~cap:7);
+  Alcotest.(check int) "single arc" 7 (Dinic.max_flow net ~s:0 ~t:1)
+
+let test_disconnected () =
+  let net = Flow_network.create ~nodes:3 in
+  ignore (Flow_network.add_arc net ~src:0 ~dst:1 ~cap:5);
+  Alcotest.(check int) "no path to sink" 0 (Dinic.max_flow net ~s:0 ~t:2)
+
+let test_parallel_paths () =
+  let net = Flow_network.create ~nodes:4 in
+  let add src dst cap = ignore (Flow_network.add_arc net ~src ~dst ~cap) in
+  add 0 1 3;
+  add 1 3 3;
+  add 0 2 4;
+  add 2 3 4;
+  Alcotest.(check int) "parallel paths sum" 7 (Dinic.max_flow net ~s:0 ~t:3)
+
+let test_bottleneck () =
+  let net = Flow_network.create ~nodes:4 in
+  let add src dst cap = ignore (Flow_network.add_arc net ~src ~dst ~cap) in
+  add 0 1 100;
+  add 1 2 1;
+  add 2 3 100;
+  Alcotest.(check int) "bottleneck limits" 1 (Dinic.max_flow net ~s:0 ~t:3)
+
+let test_min_cut_sides () =
+  let net = clrs () in
+  let cut = Min_cut.compute net ~s:0 ~t:5 in
+  Alcotest.(check int) "cut value equals max flow" 23 cut.Min_cut.value;
+  Alcotest.(check bool) "s on source side" true cut.Min_cut.source_side.(0);
+  Alcotest.(check bool) "t on sink side" false cut.Min_cut.source_side.(5)
+
+let test_cut_arcs_sum () =
+  let net = clrs () in
+  let cut = Min_cut.compute net ~s:0 ~t:5 in
+  let total =
+    List.fold_left (fun acc id -> acc + Flow_network.initial_cap net id) 0
+      (Min_cut.cut_arcs net cut)
+  in
+  Alcotest.(check int) "cut arcs capacities sum to flow" cut.Min_cut.value total
+
+let test_compute_max_same_value () =
+  let net = clrs () in
+  let cut = Min_cut.compute_max net ~s:0 ~t:5 in
+  Alcotest.(check int) "max-side cut has the same value" 23 cut.Min_cut.value;
+  Alcotest.(check bool) "separates" true
+    (cut.Min_cut.source_side.(0) && not cut.Min_cut.source_side.(5))
+
+let test_compute_max_breaks_ties_wide () =
+  (* s -> a -> t with equal capacities: both cuts are minimal; compute
+     reports {s}, compute_max reports {s, a}. *)
+  let build () =
+    let net = Flow_network.create ~nodes:3 in
+    ignore (Flow_network.add_arc net ~src:0 ~dst:1 ~cap:5);
+    ignore (Flow_network.add_arc net ~src:1 ~dst:2 ~cap:5);
+    net
+  in
+  let minimal = Min_cut.compute (build ()) ~s:0 ~t:2 in
+  Alcotest.(check bool) "minimal side excludes a" false minimal.Min_cut.source_side.(1);
+  let maximal = Min_cut.compute_max (build ()) ~s:0 ~t:2 in
+  Alcotest.(check bool) "maximal side includes a" true maximal.Min_cut.source_side.(1);
+  Alcotest.(check int) "same value" minimal.Min_cut.value maximal.Min_cut.value
+
+let test_reset () =
+  let net = clrs () in
+  ignore (Dinic.max_flow net ~s:0 ~t:5);
+  Flow_network.reset net;
+  Alcotest.(check int) "same flow after reset" 23 (Dinic.max_flow net ~s:0 ~t:5)
+
+let test_send_guard () =
+  let net = Flow_network.create ~nodes:2 in
+  let id = Flow_network.add_arc net ~src:0 ~dst:1 ~cap:3 in
+  Alcotest.check_raises "over-send rejected"
+    (Invalid_argument "Flow_network.send: exceeds residual capacity") (fun () ->
+      Flow_network.send net id 4)
+
+let test_negative_cap_rejected () =
+  let net = Flow_network.create ~nodes:2 in
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Flow_network.add_arc: negative capacity") (fun () ->
+      ignore (Flow_network.add_arc net ~src:0 ~dst:1 ~cap:(-1)))
+
+(* Random-network properties: duality and cut validity. *)
+let random_net_gen =
+  QCheck2.Gen.(
+    let* n = int_range 3 10 in
+    let* arcs = list_size (int_range 1 40) (triple (int_range 0 9) (int_range 0 9) (int_range 0 20)) in
+    return (n, arcs))
+
+let build_net (n, arcs) =
+  let net = Flow_network.create ~nodes:n in
+  List.iter
+    (fun (src, dst, cap) ->
+      let src = src mod n and dst = dst mod n in
+      if src <> dst then ignore (Flow_network.add_arc net ~src ~dst ~cap))
+    arcs;
+  net
+
+let prop_duality =
+  QCheck2.Test.make ~name:"max flow equals min cut capacity" ~count:200 random_net_gen
+    (fun input ->
+      let n, _ = input in
+      let net = build_net input in
+      let cut = Min_cut.compute net ~s:0 ~t:(n - 1) in
+      let crossing =
+        List.fold_left (fun acc id -> acc + Flow_network.initial_cap net id) 0
+          (Min_cut.cut_arcs net cut)
+      in
+      crossing = cut.Min_cut.value)
+
+let prop_cut_separates =
+  QCheck2.Test.make ~name:"cut separates source from sink" ~count:200 random_net_gen
+    (fun input ->
+      let n, _ = input in
+      let net = build_net input in
+      let cut = Min_cut.compute net ~s:0 ~t:(n - 1) in
+      cut.Min_cut.source_side.(0) && not cut.Min_cut.source_side.(n - 1))
+
+let prop_flow_conservation =
+  QCheck2.Test.make ~name:"flow conserves at internal nodes" ~count:200 random_net_gen
+    (fun input ->
+      let n, _ = input in
+      let net = build_net input in
+      ignore (Dinic.max_flow net ~s:0 ~t:(n - 1));
+      (* Flow along arc id = initial_cap - residual cap (forward arcs). *)
+      let inflow = Array.make n 0 and outflow = Array.make n 0 in
+      for v = 0 to n - 1 do
+        Flow_network.iter_arcs_from net v (fun id (arc : Flow_network.arc) ->
+            if id land 1 = 0 then begin
+              let f = Flow_network.initial_cap net id - arc.Flow_network.cap in
+              if f > 0 then begin
+                outflow.(v) <- outflow.(v) + f;
+                inflow.(arc.Flow_network.dst) <- inflow.(arc.Flow_network.dst) + f
+              end
+            end)
+      done;
+      let ok = ref true in
+      for v = 1 to n - 2 do
+        if inflow.(v) <> outflow.(v) then ok := false
+      done;
+      !ok)
+
+let prop_max_side_contains_min_side =
+  QCheck2.Test.make ~name:"maximal source side contains the minimal one" ~count:200
+    random_net_gen
+    (fun input ->
+      let n, _ = input in
+      let a = Min_cut.compute (build_net input) ~s:0 ~t:(n - 1) in
+      let b = Min_cut.compute_max (build_net input) ~s:0 ~t:(n - 1) in
+      a.Min_cut.value = b.Min_cut.value
+      && Array.for_all2
+           (fun small big -> (not small) || big)
+           a.Min_cut.source_side b.Min_cut.source_side)
+
+let prop_max_side_cut_value =
+  QCheck2.Test.make ~name:"maximal source side is also a minimum cut" ~count:200
+    random_net_gen
+    (fun input ->
+      let n, _ = input in
+      let net = build_net input in
+      let cut = Min_cut.compute_max net ~s:0 ~t:(n - 1) in
+      let crossing =
+        List.fold_left (fun acc id -> acc + Flow_network.initial_cap net id) 0
+          (Min_cut.cut_arcs net cut)
+      in
+      crossing = cut.Min_cut.value)
+
+let suite =
+  [
+    Alcotest.test_case "CLRS max flow" `Quick test_clrs_max_flow;
+    Alcotest.test_case "single arc" `Quick test_single_arc;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+    Alcotest.test_case "bottleneck" `Quick test_bottleneck;
+    Alcotest.test_case "min cut sides" `Quick test_min_cut_sides;
+    Alcotest.test_case "cut arcs sum" `Quick test_cut_arcs_sum;
+    Alcotest.test_case "compute_max same value" `Quick test_compute_max_same_value;
+    Alcotest.test_case "compute_max breaks ties wide" `Quick test_compute_max_breaks_ties_wide;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "send guard" `Quick test_send_guard;
+    Alcotest.test_case "negative cap rejected" `Quick test_negative_cap_rejected;
+    Helpers.qtest prop_duality;
+    Helpers.qtest prop_cut_separates;
+    Helpers.qtest prop_flow_conservation;
+    Helpers.qtest prop_max_side_contains_min_side;
+    Helpers.qtest prop_max_side_cut_value;
+  ]

@@ -1,0 +1,130 @@
+open Graphcore
+open Maxtruss
+
+let build_fig1_dag () =
+  let g = Helpers.fig1 () in
+  let dec = Truss.Decompose.run g in
+  let ctx = Score.make_ctx g ~k:4 in
+  let comp = Helpers.fig1_c1_edges in
+  let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
+  let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k:4 ~candidates:comp in
+  Block_dag.build ~h ~dec ~k:4 ~component:comp ~onion
+
+let test_g_zero_anchors_all () =
+  let dag = build_fig1_dag () in
+  let sel = Flow_plan.min_cut_selection ~dag ~w1:1 ~w2:1 ~g:0 in
+  Alcotest.(check int) "everything anchored" 6 sel.Flow_plan.h_score;
+  Alcotest.(check int) "all blocks" 3 (List.length sel.Flow_plan.blocks)
+
+let test_g_max_anchors_none () =
+  let dag = build_fig1_dag () in
+  let gmax = Flow_plan.g_max ~dag ~w1:1 ~w2:1 in
+  let sel = Flow_plan.min_cut_selection ~dag ~w1:1 ~w2:1 ~g:gmax in
+  Alcotest.(check int) "nothing anchored" 0 sel.Flow_plan.h_score
+
+let test_lemma1_monotone () =
+  let dag = build_fig1_dag () in
+  let gmax = Flow_plan.g_max ~dag ~w1:1 ~w2:1 in
+  let prev = ref max_int in
+  for g = 0 to gmax do
+    let sel = Flow_plan.min_cut_selection ~dag ~w1:1 ~w2:1 ~g in
+    if sel.Flow_plan.h_score > !prev then
+      Alcotest.failf "h(g) increased at g=%d: %d > %d" g sel.Flow_plan.h_score !prev;
+    prev := sel.Flow_plan.h_score
+  done
+
+let test_sweep_distinct_and_sorted () =
+  let dag = build_fig1_dag () in
+  let sels = Flow_plan.sweep ~dag ~w1:1 ~w2:1 ~probes:10 in
+  Alcotest.(check bool) "at least two plans" true (List.length sels >= 2);
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "descending h" true (a.Flow_plan.h_score >= b.Flow_plan.h_score);
+      check_sorted rest
+    | _ -> ()
+  in
+  check_sorted sels;
+  let sigs = List.map (fun s -> s.Flow_plan.blocks) sels in
+  Alcotest.(check int) "distinct selections" (List.length sigs)
+    (List.length (List.sort_uniq compare sigs))
+
+let test_sweep_includes_leaf_drop_variant () =
+  let dag = build_fig1_dag () in
+  let sels = Flow_plan.sweep ~dag ~w1:1 ~w2:1 ~probes:10 in
+  (* the h=4 "anchor all but one leaf" plan of Fig. 1(c) must appear *)
+  Alcotest.(check bool) "h=4 variant present" true
+    (List.exists (fun s -> s.Flow_plan.h_score = 4) sels)
+
+let test_sweep_empty_dag () =
+  let g = Helpers.clique 4 in
+  let dec = Truss.Decompose.run g in
+  let ctx = Score.make_ctx g ~k:4 in
+  let onion = Truss.Onion.peel ~h:(Graph.copy g) ~k:6 ~candidates:[] in
+  let dag = Block_dag.build ~h:g ~dec ~k:6 ~component:[] ~onion in
+  ignore ctx;
+  Alcotest.(check (list int)) "no plans on empty dag" []
+    (List.map (fun s -> s.Flow_plan.h_score) (Flow_plan.sweep ~dag ~w1:1 ~w2:1 ~probes:5))
+
+let prop_lemma1_random =
+  QCheck2.Test.make ~name:"h(g) non-increasing on random components (Lemma 1)" ~count:40
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let k = 4 in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+      QCheck2.assume (comps <> []);
+      let ctx = Score.make_ctx g ~k in
+      List.for_all
+        (fun comp ->
+          let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
+          let gmax = Flow_plan.g_max ~dag ~w1:1 ~w2:1 in
+          let prev = ref max_int in
+          let ok = ref true in
+          let probes = [ 0; gmax / 4; gmax / 2; 3 * gmax / 4; gmax ] in
+          List.iter
+            (fun gv ->
+              let sel = Flow_plan.min_cut_selection ~dag ~w1:1 ~w2:1 ~g:gv in
+              if sel.Flow_plan.h_score > !prev then ok := false;
+              prev := sel.Flow_plan.h_score)
+            (List.sort_uniq compare probes);
+          !ok)
+        comps)
+
+let prop_h_score_consistent =
+  QCheck2.Test.make ~name:"h_score equals sum of anchored block sizes" ~count:40
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let k = 4 in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+      QCheck2.assume (comps <> []);
+      let ctx = Score.make_ctx g ~k in
+      List.for_all
+        (fun comp ->
+          let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
+          List.for_all
+            (fun sel ->
+              sel.Flow_plan.h_score
+              = List.fold_left (fun acc b -> acc + Block_dag.size dag b) 0 sel.Flow_plan.blocks)
+            (Flow_plan.sweep ~dag ~w1:1 ~w2:1 ~probes:8))
+        comps)
+
+let suite =
+  [
+    Alcotest.test_case "g=0 anchors all" `Quick test_g_zero_anchors_all;
+    Alcotest.test_case "g=gmax anchors none" `Quick test_g_max_anchors_none;
+    Alcotest.test_case "Lemma 1 monotone" `Quick test_lemma1_monotone;
+    Alcotest.test_case "sweep distinct and sorted" `Quick test_sweep_distinct_and_sorted;
+    Alcotest.test_case "leaf-drop variant found" `Quick test_sweep_includes_leaf_drop_variant;
+    Alcotest.test_case "empty dag" `Quick test_sweep_empty_dag;
+    Helpers.qtest prop_lemma1_random;
+    Helpers.qtest prop_h_score_consistent;
+  ]

@@ -1,0 +1,94 @@
+open Graphcore
+
+let test_complete () =
+  let g = Gen.complete 6 in
+  Alcotest.(check int) "K6 edges" 15 (Graph.num_edges g);
+  Graph.iter_nodes g (fun v -> Alcotest.(check int) "degree 5" 5 (Graph.degree g v))
+
+let test_erdos_renyi_counts () =
+  let g = Gen.erdos_renyi ~rng:(Rng.create 1) ~n:50 ~m:100 in
+  Alcotest.(check int) "exact edge count" 100 (Graph.num_edges g)
+
+let test_erdos_renyi_deterministic () =
+  let a = Gen.erdos_renyi ~rng:(Rng.create 5) ~n:30 ~m:60 in
+  let b = Gen.erdos_renyi ~rng:(Rng.create 5) ~n:30 ~m:60 in
+  Alcotest.(check bool) "same graph from same seed" true (Graph.equal a b)
+
+let test_erdos_renyi_too_many () =
+  Alcotest.check_raises "too many edges"
+    (Invalid_argument "Gen.erdos_renyi: too many edges") (fun () ->
+      ignore (Gen.erdos_renyi ~rng:(Rng.create 1) ~n:4 ~m:10))
+
+let test_barabasi_albert () =
+  let g = Gen.barabasi_albert ~rng:(Rng.create 2) ~n:200 ~m:3 in
+  Alcotest.(check bool) "enough edges" true (Graph.num_edges g >= 3 * 150);
+  (* preferential attachment concentrates degree *)
+  let dmax = ref 0 in
+  Graph.iter_nodes g (fun v -> dmax := max !dmax (Graph.degree g v));
+  Alcotest.(check bool) "hub exists" true (!dmax > 10)
+
+let test_powerlaw_cluster_triangles () =
+  let rng = Rng.create 3 in
+  let pc = Gen.powerlaw_cluster ~rng ~n:300 ~m:4 ~p:0.9 in
+  let rng = Rng.create 3 in
+  let ba = Gen.barabasi_albert ~rng ~n:300 ~m:4 in
+  let cc g = (Gstats.compute g).Gstats.global_clustering in
+  Alcotest.(check bool) "triad closure raises clustering" true (cc pc > cc ba)
+
+let test_watts_strogatz () =
+  let g = Gen.watts_strogatz ~rng:(Rng.create 4) ~n:100 ~k:3 ~beta:0.1 in
+  Alcotest.(check bool) "about nk edges" true (abs (Graph.num_edges g - 300) < 30)
+
+let test_planted_clique_trussness () =
+  let g = Graph.of_edges [ (100, 101) ] in
+  let rng = Rng.create 5 in
+  Gen.planted_noisy_clique ~rng ~g ~members:(Array.init 8 (fun i -> i)) ~drop:0.0;
+  let dec = Truss.Decompose.run g in
+  Alcotest.(check int) "clean 8-clique is an 8-truss" 8 (Truss.Decompose.kmax dec)
+
+let test_planted_noisy_clique_spreads () =
+  let g = Graph.create () in
+  let rng = Rng.create 6 in
+  Gen.planted_noisy_clique ~rng ~g ~members:(Array.init 20 (fun i -> i)) ~drop:0.25;
+  let dec = Truss.Decompose.run g in
+  let classes = Truss.Decompose.class_sizes dec in
+  Alcotest.(check bool) "noise spreads trussness over several classes" true
+    (List.length classes >= 2)
+
+let test_hierarchical_web () =
+  let g = Gen.hierarchical_web ~rng:(Rng.create 7) ~pages:200 ~cluster:10 ~inter:3 in
+  Alcotest.(check bool) "non-trivial" true (Graph.num_edges g > 200);
+  let dec = Truss.Decompose.run g in
+  Alcotest.(check bool) "has dense cores" true (Truss.Decompose.kmax dec >= 5)
+
+let test_star_heavy () =
+  let g = Gen.star_heavy ~rng:(Rng.create 8) ~n:500 ~hubs:5 ~m:1500 in
+  Alcotest.(check int) "edge count" 1500 (Graph.num_edges g);
+  let dmax = ref 0 in
+  Graph.iter_nodes g (fun v -> dmax := max !dmax (Graph.degree g v));
+  Alcotest.(check bool) "hubs dominate" true (!dmax > 100)
+
+let test_with_communities_grows () =
+  let rng = Rng.create 9 in
+  let base = Gen.erdos_renyi ~rng ~n:100 ~m:150 in
+  let before = Graph.num_edges base in
+  let g =
+    Gen.with_communities ~rng ~base ~communities:5 ~size_min:6 ~size_max:10 ~drop:0.2
+  in
+  Alcotest.(check bool) "communities add edges" true (Graph.num_edges g > before)
+
+let suite =
+  [
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "erdos-renyi counts" `Quick test_erdos_renyi_counts;
+    Alcotest.test_case "erdos-renyi deterministic" `Quick test_erdos_renyi_deterministic;
+    Alcotest.test_case "erdos-renyi too many" `Quick test_erdos_renyi_too_many;
+    Alcotest.test_case "barabasi-albert" `Quick test_barabasi_albert;
+    Alcotest.test_case "powerlaw cluster triangles" `Quick test_powerlaw_cluster_triangles;
+    Alcotest.test_case "watts-strogatz" `Quick test_watts_strogatz;
+    Alcotest.test_case "planted clique trussness" `Quick test_planted_clique_trussness;
+    Alcotest.test_case "noisy clique spreads classes" `Quick test_planted_noisy_clique_spreads;
+    Alcotest.test_case "hierarchical web" `Quick test_hierarchical_web;
+    Alcotest.test_case "star heavy" `Quick test_star_heavy;
+    Alcotest.test_case "with_communities grows" `Quick test_with_communities_grows;
+  ]

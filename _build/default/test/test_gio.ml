@@ -1,0 +1,52 @@
+open Graphcore
+
+let test_parse_basic () =
+  let g = Gio.parse_string "0 1\n1 2\n2 0\n" in
+  Alcotest.(check int) "three edges" 3 (Graph.num_edges g)
+
+let test_parse_comments_and_blank () =
+  let g = Gio.parse_string "# header\n\n% other comment\n0 1\n\n1 2\n" in
+  Alcotest.(check int) "two edges" 2 (Graph.num_edges g)
+
+let test_parse_tabs_and_commas () =
+  let g = Gio.parse_string "0\t1\n1,2\n2  3\n" in
+  Alcotest.(check int) "three edges" 3 (Graph.num_edges g)
+
+let test_parse_dedupes () =
+  let g = Gio.parse_string "0 1\n1 0\n0 1\n" in
+  Alcotest.(check int) "one edge" 1 (Graph.num_edges g)
+
+let test_parse_skips_self_loops () =
+  let g = Gio.parse_string "3 3\n0 1\n" in
+  Alcotest.(check int) "self loop skipped" 1 (Graph.num_edges g)
+
+let test_parse_malformed () =
+  Alcotest.check_raises "malformed" (Failure "Gio: malformed line 1: \"zero one\"")
+    (fun () -> ignore (Gio.parse_string "zero one\n"))
+
+let test_roundtrip () =
+  let g = Gen.erdos_renyi ~rng:(Rng.create 11) ~n:40 ~m:80 in
+  let path = Filename.temp_file "maxtruss" ".edges" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Gio.save path g;
+      let g' = Gio.load path in
+      Alcotest.(check bool) "roundtrip preserves graph" true (Graph.equal g g'))
+
+let test_load_missing () =
+  match Gio.load "/nonexistent/path/xyz.edges" with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error"
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "comments and blanks" `Quick test_parse_comments_and_blank;
+    Alcotest.test_case "tabs and commas" `Quick test_parse_tabs_and_commas;
+    Alcotest.test_case "dedupes" `Quick test_parse_dedupes;
+    Alcotest.test_case "skips self loops" `Quick test_parse_skips_self_loops;
+    Alcotest.test_case "malformed line" `Quick test_parse_malformed;
+    Alcotest.test_case "save/load roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "load missing file" `Quick test_load_missing;
+  ]

@@ -1,0 +1,135 @@
+open Graphcore
+
+let test_empty () =
+  let g = Graph.create () in
+  Alcotest.(check int) "no nodes" 0 (Graph.num_nodes g);
+  Alcotest.(check int) "no edges" 0 (Graph.num_edges g);
+  Alcotest.(check int) "max id" (-1) (Graph.max_node_id g)
+
+let test_add_edge () =
+  let g = Graph.create () in
+  Alcotest.(check bool) "fresh insert" true (Graph.add_edge g 1 2);
+  Alcotest.(check bool) "duplicate" false (Graph.add_edge g 2 1);
+  Alcotest.(check int) "one edge" 1 (Graph.num_edges g);
+  Alcotest.(check int) "two nodes" 2 (Graph.num_nodes g);
+  Alcotest.(check bool) "membership both ways" true
+    (Graph.mem_edge g 1 2 && Graph.mem_edge g 2 1)
+
+let test_self_loop_rejected () =
+  let g = Graph.create () in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      ignore (Graph.add_edge g 3 3))
+
+let test_remove_edge () =
+  let g = Graph.of_edges [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "removed" true (Graph.remove_edge g 0 1);
+  Alcotest.(check bool) "absent now" false (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "remove absent" false (Graph.remove_edge g 0 1);
+  Alcotest.(check int) "node count drops" 2 (Graph.num_nodes g)
+
+let test_degree () =
+  let g = Graph.of_edges [ (0, 1); (0, 2); (0, 3) ] in
+  Alcotest.(check int) "hub degree" 3 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 2);
+  Alcotest.(check int) "absent node" 0 (Graph.degree g 99)
+
+let test_common_neighbors () =
+  let g = Helpers.triangle () in
+  Alcotest.(check int) "triangle edge support" 1 (Graph.count_common_neighbors g 0 1);
+  let g4 = Helpers.clique 4 in
+  Alcotest.(check int) "K4 edge support" 2 (Graph.count_common_neighbors g4 0 1)
+
+let test_common_neighbors_nonedge () =
+  let g = Graph.of_edges [ (0, 2); (1, 2); (0, 3); (1, 3) ] in
+  Alcotest.(check int) "support of absent edge" 2 (Graph.count_common_neighbors g 0 1)
+
+let test_copy_independent () =
+  let g = Helpers.triangle () in
+  let g' = Graph.copy g in
+  ignore (Graph.remove_edge g' 0 1);
+  Alcotest.(check bool) "original intact" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "copy mutated" false (Graph.mem_edge g' 0 1)
+
+let test_iter_edges_once () =
+  let g = Helpers.clique 5 in
+  let count = ref 0 in
+  Graph.iter_edges g (fun u v ->
+      incr count;
+      if u >= v then Alcotest.fail "iter_edges must give u < v");
+  Alcotest.(check int) "K5 has 10 edges" 10 !count
+
+let test_equal () =
+  let a = Graph.of_edges [ (0, 1); (1, 2) ] in
+  let b = Graph.of_edges [ (2, 1); (1, 0) ] in
+  Alcotest.(check bool) "equal edge sets" true (Graph.equal a b);
+  ignore (Graph.add_edge b 0 2);
+  Alcotest.(check bool) "different now" false (Graph.equal a b)
+
+let test_edge_array () =
+  let g = Graph.of_edges [ (3, 1); (0, 2) ] in
+  let arr = Graph.edge_array g in
+  Array.sort compare arr;
+  Alcotest.(check (list (pair int int)))
+    "keys decode"
+    [ (0, 2); (1, 3) ]
+    (Array.to_list arr |> List.map Edge_key.endpoints)
+
+let prop_model =
+  QCheck2.Test.make ~name:"graph matches edge-set model" ~count:200
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      let g = Graph.of_edges edges in
+      let model = List.sort_uniq compare (List.map (fun (u, v) -> (min u v, max u v)) edges) in
+      Graph.num_edges g = List.length model
+      && List.for_all (fun (u, v) -> Graph.mem_edge g u v) model
+      &&
+      let listed = ref [] in
+      Graph.iter_edges g (fun u v -> listed := (u, v) :: !listed);
+      List.sort compare !listed = model)
+
+let prop_degree_sum =
+  QCheck2.Test.make ~name:"degree sum equals twice edge count" ~count:200
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      let g = Graph.of_edges edges in
+      let sum = ref 0 in
+      Graph.iter_nodes g (fun v -> sum := !sum + Graph.degree g v);
+      !sum = 2 * Graph.num_edges g)
+
+let prop_remove_inverts_add =
+  QCheck2.Test.make ~name:"removing all edges empties the graph" ~count:100
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      let g = Graph.of_edges edges in
+      Graph.iter_edges (Graph.copy g) (fun u v -> ignore (Graph.remove_edge g u v));
+      Graph.num_edges g = 0 && Graph.num_nodes g = 0)
+
+let prop_common_neighbors_symmetric =
+  QCheck2.Test.make ~name:"common neighbor count is symmetric" ~count:100
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      List.for_all
+        (fun (u, v) ->
+          Graph.count_common_neighbors g u v = Graph.count_common_neighbors g v u)
+        edges)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add edge" `Quick test_add_edge;
+    Alcotest.test_case "self loop rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "remove edge" `Quick test_remove_edge;
+    Alcotest.test_case "degree" `Quick test_degree;
+    Alcotest.test_case "common neighbors" `Quick test_common_neighbors;
+    Alcotest.test_case "common neighbors of non-edge" `Quick test_common_neighbors_nonedge;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "iter edges once" `Quick test_iter_edges_once;
+    Alcotest.test_case "equality" `Quick test_equal;
+    Alcotest.test_case "edge array" `Quick test_edge_array;
+    Helpers.qtest prop_model;
+    Helpers.qtest prop_degree_sum;
+    Helpers.qtest prop_remove_inverts_add;
+    Helpers.qtest prop_common_neighbors_symmetric;
+  ]

@@ -1,0 +1,47 @@
+open Graphcore
+
+let test_fig1_index () =
+  let g = Helpers.fig1 () in
+  let dec = Truss.Decompose.run g in
+  let idx = Truss.Index.build dec in
+  Alcotest.(check int) "kmax" 5 (Truss.Index.kmax idx);
+  Alcotest.(check int) "|T_3|" 22 (Truss.Index.truss_size idx 3);
+  Alcotest.(check int) "|T_4|" 10 (Truss.Index.truss_size idx 4);
+  Alcotest.(check int) "|T_5|" 10 (Truss.Index.truss_size idx 5);
+  Alcotest.(check int) "|T_6|" 0 (Truss.Index.truss_size idx 6);
+  Alcotest.(check int) "3-class size" 12 (List.length (Truss.Index.k_class idx 3));
+  Alcotest.(check (option int)) "edge lookup" (Some 3)
+    (Truss.Index.trussness idx (Edge_key.make 0 7))
+
+let test_empty_index () =
+  let idx = Truss.Index.build (Truss.Decompose.run (Graph.create ())) in
+  Alcotest.(check int) "kmax 0" 0 (Truss.Index.kmax idx);
+  Alcotest.(check (list (pair int int))) "no bounds" [] (Truss.Index.class_bounds idx)
+
+let prop_index_matches_decompose =
+  QCheck2.Test.make ~name:"index agrees with decomposition everywhere" ~count:80
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let idx = Truss.Index.build dec in
+      let ok = ref true in
+      Truss.Decompose.iter dec (fun key tau ->
+          if Truss.Index.trussness idx key <> Some tau then ok := false);
+      for k = 2 to Truss.Decompose.kmax dec + 1 do
+        let a = List.sort compare (Truss.Index.truss_edges idx k) in
+        let b = List.sort compare (Truss.Decompose.truss_edges dec k) in
+        if a <> b then ok := false;
+        let ca = List.sort compare (Truss.Index.k_class idx k) in
+        let cb = List.sort compare (Truss.Decompose.k_class dec k) in
+        if ca <> cb then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 index" `Quick test_fig1_index;
+    Alcotest.test_case "empty index" `Quick test_empty_index;
+    Helpers.qtest prop_index_matches_decompose;
+  ]

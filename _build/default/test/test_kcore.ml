@@ -1,0 +1,102 @@
+open Graphcore
+
+let test_clique_coreness () =
+  let dec = Kcore.Core_decompose.run (Helpers.clique 6) in
+  Alcotest.(check int) "K6 degeneracy" 5 (Kcore.Core_decompose.kmax dec);
+  for v = 0 to 5 do
+    Alcotest.(check int) "all coreness 5" 5 (Kcore.Core_decompose.coreness dec v)
+  done
+
+let test_path_coreness () =
+  let dec = Kcore.Core_decompose.run (Helpers.path 5) in
+  Alcotest.(check int) "path degeneracy" 1 (Kcore.Core_decompose.kmax dec)
+
+let test_star () =
+  let g = Graph.of_edges [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  let dec = Kcore.Core_decompose.run g in
+  Alcotest.(check int) "star degeneracy 1" 1 (Kcore.Core_decompose.kmax dec);
+  Alcotest.(check int) "hub coreness 1" 1 (Kcore.Core_decompose.coreness dec 0)
+
+let test_clique_plus_tail () =
+  let g = Helpers.clique 5 in
+  ignore (Graph.add_edge g 4 10);
+  ignore (Graph.add_edge g 10 11);
+  let dec = Kcore.Core_decompose.run g in
+  Alcotest.(check int) "clique nodes coreness 4" 4 (Kcore.Core_decompose.coreness dec 0);
+  Alcotest.(check int) "tail coreness 1" 1 (Kcore.Core_decompose.coreness dec 11);
+  Alcotest.(check int) "4-core has 5 nodes" 5
+    (List.length (Kcore.Core_decompose.k_core_nodes dec 4))
+
+let test_truss_inside_core () =
+  (* every k-truss is a (k-1)-core *)
+  let rng = Rng.create 41 in
+  let g = Gen.powerlaw_cluster ~rng ~n:200 ~m:5 ~p:0.7 in
+  let tdec = Truss.Decompose.run g in
+  let cdec = Kcore.Core_decompose.run g in
+  let k = 5 in
+  List.iter
+    (fun key ->
+      let u, v = Edge_key.endpoints key in
+      Alcotest.(check bool) "endpoint in (k-1)-core" true
+        (Kcore.Core_decompose.coreness cdec u >= k - 1
+        && Kcore.Core_decompose.coreness cdec v >= k - 1))
+    (Truss.Decompose.truss_edges tdec k)
+
+let prop_core_property =
+  QCheck2.Test.make ~name:"every k-core node has >= k neighbors inside" ~count:80
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Kcore.Core_decompose.run g in
+      let ok = ref true in
+      for k = 1 to Kcore.Core_decompose.kmax dec do
+        let core = Kcore.Core_decompose.k_core g dec k in
+        Graphcore.Graph.iter_nodes core (fun v ->
+            if Graph.degree core v < k then ok := false)
+      done;
+      !ok)
+
+let prop_shells_partition =
+  QCheck2.Test.make ~name:"shells partition the nodes" ~count:80
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Kcore.Core_decompose.run g in
+      let total =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 (Kcore.Core_decompose.shell_sizes dec)
+      in
+      total = Graph.num_nodes g)
+
+let test_core_max_completes_core () =
+  (* K5 missing one edge at node 5: core-max should repair the 4-core. *)
+  let g = Helpers.clique 5 in
+  ignore (Graph.remove_edge g 3 4);
+  let r = Kcore.Core_max.maximize ~g ~k:4 ~budget:3 in
+  Alcotest.(check bool) "core grows" true (r.Kcore.Core_max.new_core_nodes > 0)
+
+let test_core_max_budget () =
+  let rng = Rng.create 51 in
+  let base = Gen.powerlaw_cluster ~rng ~n:150 ~m:4 ~p:0.5 in
+  let g = Gen.with_communities ~rng ~base ~communities:5 ~size_min:7 ~size_max:10 ~drop:0.3 in
+  let r = Kcore.Core_max.maximize ~g ~k:6 ~budget:10 in
+  Alcotest.(check bool) "budget respected" true (List.length r.Kcore.Core_max.inserted <= 10);
+  Alcotest.(check bool) "verified gain non-negative" true (r.Kcore.Core_max.new_core_nodes >= 0);
+  List.iter
+    (fun (u, v) ->
+      if Graph.mem_edge g u v then Alcotest.fail "core-max proposed existing edge")
+    r.Kcore.Core_max.inserted
+
+let suite =
+  [
+    Alcotest.test_case "clique coreness" `Quick test_clique_coreness;
+    Alcotest.test_case "path coreness" `Quick test_path_coreness;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "clique plus tail" `Quick test_clique_plus_tail;
+    Alcotest.test_case "truss inside core" `Quick test_truss_inside_core;
+    Helpers.qtest prop_core_property;
+    Helpers.qtest prop_shells_partition;
+    Alcotest.test_case "core max repairs core" `Quick test_core_max_completes_core;
+    Alcotest.test_case "core max budget" `Quick test_core_max_budget;
+  ]

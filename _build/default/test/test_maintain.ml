@@ -1,0 +1,194 @@
+open Graphcore
+
+let test_insert_completes_truss () =
+  (* K4 minus one edge has no 4-truss; adding the edge back creates one. *)
+  let g = Helpers.clique 4 in
+  ignore (Graph.remove_edge g 0 1);
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  Alcotest.(check int) "no 4-truss before" 0 (Hashtbl.length old_truss);
+  let delta = Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted:[ (0, 1) ] in
+  Alcotest.(check int) "all six edges promoted" 6 (List.length delta.Truss.Maintain.promoted);
+  Alcotest.(check int) "new size" 6 delta.Truss.Maintain.new_size
+
+let test_graph_restored () =
+  let g = Helpers.triangle () in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  ignore (Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted:[ (0, 3); (1, 3); (2, 3) ]);
+  Alcotest.(check int) "inserted edges removed again" 3 (Graph.num_edges g)
+
+let test_existing_edges_ignored () =
+  let g = Helpers.clique 4 in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  let delta = Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted:[ (0, 1) ] in
+  Alcotest.(check int) "nothing promoted" 0 (List.length delta.Truss.Maintain.promoted);
+  Alcotest.(check int) "graph unchanged" 6 (Graph.num_edges g)
+
+let test_useless_insert () =
+  let g = Helpers.path 4 in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  let delta = Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted:[ (0, 3) ] in
+  Alcotest.(check int) "cycle has no 4-truss" 0 (List.length delta.Truss.Maintain.promoted)
+
+let test_fig1_partial_plan () =
+  (* Inserting (c,h)=(2,7) must promote exactly 5 edges (Fig. 1(c)). *)
+  let g = Helpers.fig1 () in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  let delta = Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted:[ (2, 7) ] in
+  Alcotest.(check int) "five new 4-truss edges" 5 (List.length delta.Truss.Maintain.promoted)
+
+let test_fig1_full_plan () =
+  (* Inserting (c,h) and (a,i) fully converts C1: 8 new edges (Fig. 1(b)). *)
+  let g = Helpers.fig1 () in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  let delta =
+    Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted:[ (2, 7); (0, 8) ]
+  in
+  Alcotest.(check int) "eight new 4-truss edges" 8 (List.length delta.Truss.Maintain.promoted)
+
+let insertion_gen =
+  QCheck2.Gen.(
+    let* edges = Helpers.random_graph_gen () in
+    let* extra = list_size (int_range 0 6) (pair (int_range 0 12) (int_range 0 12)) in
+    return (edges, extra))
+
+let prop_matches_oracle =
+  QCheck2.Test.make ~name:"incremental update equals recomputation from scratch" ~count:150
+    insertion_gen
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let inserted = List.filter (fun (u, v) -> u <> v) extra in
+      let ok = ref true in
+      List.iter
+        (fun k ->
+          let old_truss = Truss.Truss_query.k_truss_edges g ~k in
+          let delta = Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k ~inserted in
+          (* Oracle: recompute on the union graph. *)
+          let g' = Graph.copy g in
+          List.iter (fun (u, v) -> ignore (Graph.add_edge g' u v)) inserted;
+          let full = Truss.Truss_query.k_truss_edges g' ~k in
+          let expected_promoted =
+            Hashtbl.fold
+              (fun key () acc -> if Hashtbl.mem old_truss key then acc else key :: acc)
+              full []
+            |> List.sort compare
+          in
+          if List.sort compare delta.Truss.Maintain.promoted <> expected_promoted then
+            ok := false;
+          if delta.Truss.Maintain.new_size <> Hashtbl.length full then ok := false)
+        [ 3; 4; 5 ];
+      !ok)
+
+let prop_restores_graph =
+  QCheck2.Test.make ~name:"graph is restored after evaluation" ~count:100 insertion_gen
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let before = Graph.copy g in
+      let inserted = List.filter (fun (u, v) -> u <> v) extra in
+      let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+      ignore (Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted);
+      Graph.equal g before)
+
+let prop_monotone =
+  QCheck2.Test.make ~name:"insertions never shrink the truss" ~count:100 insertion_gen
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let inserted = List.filter (fun (u, v) -> u <> v) extra in
+      let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+      let delta = Truss.Maintain.k_truss_after_insert ~g ~old_truss ~k:4 ~inserted in
+      delta.Truss.Maintain.new_size >= Hashtbl.length old_truss)
+
+let test_delete_breaks_truss () =
+  let g = Helpers.clique 4 in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  let delta = Truss.Maintain.k_truss_after_delete ~g ~old_truss ~k:4 ~deleted:[ (0, 1) ] in
+  Alcotest.(check int) "whole K4 demoted" 6 (List.length delta.Truss.Maintain.demoted);
+  Alcotest.(check int) "nothing remains" 0 delta.Truss.Maintain.remaining;
+  Alcotest.(check int) "graph restored" 6 (Graph.num_edges g)
+
+let test_delete_outside_truss () =
+  let g = Helpers.fig1 () in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  (* (a,h) is a 3-class edge: deleting it cannot touch the 4-truss *)
+  let delta = Truss.Maintain.k_truss_after_delete ~g ~old_truss ~k:4 ~deleted:[ (0, 7) ] in
+  Alcotest.(check int) "no demotions" 0 (List.length delta.Truss.Maintain.demoted);
+  Alcotest.(check bool) "graph restored" true (Graph.mem_edge g 0 7)
+
+let test_delete_absent_edge_ignored () =
+  let g = Helpers.clique 4 in
+  let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+  let delta = Truss.Maintain.k_truss_after_delete ~g ~old_truss ~k:4 ~deleted:[ (0, 9) ] in
+  Alcotest.(check int) "nothing happens" 0 (List.length delta.Truss.Maintain.demoted)
+
+let prop_delete_matches_oracle =
+  QCheck2.Test.make ~name:"deletion update equals recomputation from scratch" ~count:150
+    insertion_gen
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      (* reuse the extra pairs as deletion requests against existing edges *)
+      let deleted = List.filter (fun (u, v) -> u <> v) extra in
+      let ok = ref true in
+      List.iter
+        (fun k ->
+          let old_truss = Truss.Truss_query.k_truss_edges g ~k in
+          let delta = Truss.Maintain.k_truss_after_delete ~g ~old_truss ~k ~deleted in
+          let g' = Graph.copy g in
+          List.iter (fun (u, v) -> ignore (Graph.remove_edge g' u v)) deleted;
+          let full = Truss.Truss_query.k_truss_edges g' ~k in
+          let expected_demoted =
+            Hashtbl.fold
+              (fun key () acc -> if Hashtbl.mem full key then acc else key :: acc)
+              old_truss []
+            |> List.sort compare
+          in
+          if List.sort compare delta.Truss.Maintain.demoted <> expected_demoted then ok := false;
+          if delta.Truss.Maintain.remaining <> Hashtbl.length full then ok := false)
+        [ 3; 4; 5 ];
+      !ok)
+
+let prop_delete_restores_graph =
+  QCheck2.Test.make ~name:"graph restored after deletion evaluation" ~count:100 insertion_gen
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let before = Graph.copy g in
+      let deleted = List.filter (fun (u, v) -> u <> v) extra in
+      let old_truss = Truss.Truss_query.k_truss_edges g ~k:4 in
+      ignore (Truss.Maintain.k_truss_after_delete ~g ~old_truss ~k:4 ~deleted);
+      Graph.equal g before)
+
+let prop_insert_then_delete_roundtrip =
+  QCheck2.Test.make ~name:"inserting then deleting the same edges is a no-op on the truss"
+    ~count:80 insertion_gen
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let fresh = List.filter (fun (u, v) -> u <> v && not (Graph.mem_edge g u v)) extra in
+      let k = 4 in
+      let t0 = Truss.Truss_query.k_truss_edges g ~k in
+      List.iter (fun (u, v) -> ignore (Graph.add_edge g u v)) fresh;
+      let t1 = Truss.Truss_query.k_truss_edges g ~k in
+      let delta = Truss.Maintain.k_truss_after_delete ~g ~old_truss:t1 ~k ~deleted:fresh in
+      delta.Truss.Maintain.remaining = Hashtbl.length t0)
+
+let suite =
+  [
+    Alcotest.test_case "insert completes truss" `Quick test_insert_completes_truss;
+    Alcotest.test_case "delete breaks truss" `Quick test_delete_breaks_truss;
+    Alcotest.test_case "delete outside truss" `Quick test_delete_outside_truss;
+    Alcotest.test_case "delete absent edge" `Quick test_delete_absent_edge_ignored;
+    Helpers.qtest prop_delete_matches_oracle;
+    Helpers.qtest prop_delete_restores_graph;
+    Helpers.qtest prop_insert_then_delete_roundtrip;
+    Alcotest.test_case "graph restored" `Quick test_graph_restored;
+    Alcotest.test_case "existing edges ignored" `Quick test_existing_edges_ignored;
+    Alcotest.test_case "useless insert" `Quick test_useless_insert;
+    Alcotest.test_case "fig1 partial plan scores 5" `Quick test_fig1_partial_plan;
+    Alcotest.test_case "fig1 full plan scores 8" `Quick test_fig1_full_plan;
+    Helpers.qtest prop_matches_oracle;
+    Helpers.qtest prop_restores_graph;
+    Helpers.qtest prop_monotone;
+  ]

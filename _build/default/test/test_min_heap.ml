@@ -1,0 +1,73 @@
+open Graphcore
+
+let test_empty () =
+  let h = Min_heap.create ~cmp:Int.compare in
+  Alcotest.(check (option int)) "pop empty" None (Min_heap.pop h);
+  Alcotest.(check bool) "is_empty" true (Min_heap.is_empty h)
+
+let test_push_pop () =
+  let h = Min_heap.create ~cmp:Int.compare in
+  List.iter (Min_heap.push h) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check (list int)) "sorted drain" [ 1; 2; 3; 4; 5 ] (Min_heap.to_sorted_list h)
+
+let test_peek () =
+  let h = Min_heap.of_list ~cmp:Int.compare [ 9; 3; 7 ] in
+  Alcotest.(check (option int)) "peek min" (Some 3) (Min_heap.peek h);
+  Alcotest.(check int) "size unchanged" 3 (Min_heap.size h)
+
+let test_max_heap_via_cmp () =
+  let h = Min_heap.of_list ~cmp:(fun a b -> Int.compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (option int)) "max first" (Some 5) (Min_heap.pop h)
+
+let test_duplicates () =
+  let h = Min_heap.of_list ~cmp:Int.compare [ 2; 2; 1; 2 ] in
+  Alcotest.(check (list int)) "keeps duplicates" [ 1; 2; 2; 2 ] (Min_heap.to_sorted_list h)
+
+let prop_heapsort =
+  QCheck2.Test.make ~name:"heap drain equals List.sort" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 100) (int_range (-1000) 1000))
+    (fun xs ->
+      let h = Min_heap.of_list ~cmp:Int.compare xs in
+      Min_heap.to_sorted_list h = List.sort Int.compare xs)
+
+let prop_interleaved =
+  QCheck2.Test.make ~name:"interleaved push/pop maintains heap property" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 80) (int_range (-50) 50))
+    (fun ops ->
+      let h = Min_heap.create ~cmp:Int.compare in
+      let model = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun x ->
+          if x >= 0 then begin
+            Min_heap.push h x;
+            model := x :: !model
+          end
+          else begin
+            let popped = Min_heap.pop h in
+            let expected =
+              match List.sort Int.compare !model with [] -> None | m :: _ -> Some m
+            in
+            if popped <> expected then ok := false;
+            match expected with
+            | Some m ->
+              let rec remove_one = function
+                | [] -> []
+                | y :: rest -> if y = m then rest else y :: remove_one rest
+              in
+              model := remove_one !model
+            | None -> ()
+          end)
+        ops;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "push/pop sorted" `Quick test_push_pop;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "max heap via cmp" `Quick test_max_heap_via_cmp;
+    Alcotest.test_case "duplicates" `Quick test_duplicates;
+    Helpers.qtest prop_heapsort;
+    Helpers.qtest prop_interleaved;
+  ]

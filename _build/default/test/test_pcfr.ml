@@ -1,0 +1,130 @@
+open Graphcore
+open Maxtruss
+
+let test_fig1_beats_cbtm () =
+  (* The paper's Example 1: budget 2 yields 10 new 4-truss edges for the
+     partial-conversion framework vs 8 for complete conversion. *)
+  let g = Helpers.fig1 () in
+  let r = Pcfr.pcfr ~g ~k:4 ~budget:2 () in
+  Alcotest.(check int) "PCFR reaches 10" 10 r.Pcfr.outcome.Outcome.score;
+  let c = Baselines.cbtm ~g ~k:4 ~budget:2 in
+  Alcotest.(check int) "CBTM reaches 8" 8 c.Outcome.score
+
+let test_fig1_budget_respected () =
+  let g = Helpers.fig1 () in
+  List.iter
+    (fun b ->
+      let r = Pcfr.pcfr ~g ~k:4 ~budget:b () in
+      Alcotest.(check bool)
+        (Printf.sprintf "b=%d respected" b)
+        true
+        (List.length r.Pcfr.outcome.Outcome.inserted <= b))
+    [ 0; 1; 2; 3; 4; 10 ]
+
+let test_fig1_graph_untouched () =
+  let g = Helpers.fig1 () in
+  ignore (Pcfr.pcfr ~g ~k:4 ~budget:4 ());
+  Alcotest.(check int) "original graph unmodified" 22 (Graph.num_edges g)
+
+let test_score_is_verified () =
+  let g = Helpers.fig1 () in
+  let r = Pcfr.pcfr ~g ~k:4 ~budget:3 () in
+  Alcotest.(check int) "outcome score equals oracle"
+    (Score.evaluate_oracle g ~k:4 ~inserted:r.Pcfr.outcome.Outcome.inserted)
+    r.Pcfr.outcome.Outcome.score
+
+let test_ablations_run () =
+  let g = Helpers.fig1 () in
+  let f = Pcfr.pcf ~g ~k:4 ~budget:2 () in
+  let r = Pcfr.pcr ~g ~k:4 ~budget:2 () in
+  Alcotest.(check bool) "PCF finds plans via flow only" true
+    (f.Pcfr.outcome.Outcome.score >= 8);
+  Alcotest.(check bool) "PCR finds plans via random only" true
+    (r.Pcfr.outcome.Outcome.score > 0)
+
+let test_pcf_deterministic () =
+  let g = Helpers.fig1 () in
+  let a = Pcfr.pcf ~g ~k:4 ~budget:2 () in
+  let b = Pcfr.pcf ~g ~k:4 ~budget:2 () in
+  Alcotest.(check int) "same score" a.Pcfr.outcome.Outcome.score b.Pcfr.outcome.Outcome.score;
+  Alcotest.(check bool) "same insertions" true
+    (a.Pcfr.outcome.Outcome.inserted = b.Pcfr.outcome.Outcome.inserted)
+
+let test_large_budget_descends_levels () =
+  (* With budget far beyond the (k-1)-class, PCFR must descend to deeper
+     (k-h)-classes (Algorithm 5). *)
+  let rng = Rng.create 77 in
+  let base = Gen.powerlaw_cluster ~rng ~n:200 ~m:5 ~p:0.7 in
+  let g = Gen.with_communities ~rng ~base ~communities:8 ~size_min:8 ~size_max:12 ~drop:0.3 in
+  let r =
+    Pcfr.run { (Pcfr.default_config ~k:6 ~budget:400) with max_h = 3; min_level_budget = 1 } g
+  in
+  Alcotest.(check bool) "multiple levels visited" true (List.length r.Pcfr.levels >= 2);
+  let hs = List.map (fun (l : Pcfr.level_stat) -> l.Pcfr.h) r.Pcfr.levels in
+  Alcotest.(check bool) "h descends" true (List.sort compare hs = hs)
+
+let test_level_stats_consistent () =
+  let g = Helpers.fig1 () in
+  let r = Pcfr.pcfr ~g ~k:4 ~budget:4 () in
+  let total_inserted =
+    List.fold_left (fun acc (l : Pcfr.level_stat) -> acc + l.Pcfr.inserted) 0 r.Pcfr.levels
+  in
+  Alcotest.(check int) "level insertions sum to outcome" total_inserted
+    (List.length r.Pcfr.outcome.Outcome.inserted)
+
+let test_no_truss_material () =
+  (* A graph whose (k-1)-class is empty for huge k: nothing to do. *)
+  let g = Helpers.path 10 in
+  let r = Pcfr.pcfr ~g ~k:10 ~budget:5 () in
+  Alcotest.(check int) "no insertions" 0 (List.length r.Pcfr.outcome.Outcome.inserted);
+  Alcotest.(check int) "zero score" 0 r.Pcfr.outcome.Outcome.score
+
+let test_time_limit () =
+  let g = Helpers.fig1 () in
+  let cfg = { (Pcfr.default_config ~k:4 ~budget:4) with time_limit_s = Some 0.0 } in
+  let r = Pcfr.run cfg g in
+  Alcotest.(check bool) "times out immediately" true r.Pcfr.outcome.Outcome.timed_out
+
+let prop_pcfr_at_least_cbtm =
+  (* On clustered graphs components are triangle-independent — the regime
+     the paper's DP assumes — and there PCFR provably dominates CBTM: its
+     menus contain CBTM's full-conversion plan and the solver never falls
+     below the binary DP. *)
+  QCheck2.Test.make ~name:"PCFR score >= CBTM score on clustered graphs" ~count:15
+    (Helpers.clustered_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      QCheck2.assume (Truss.Decompose.k_class dec 3 <> []);
+      let budget = 4 in
+      let pcfr = Pcfr.pcfr ~g ~k:4 ~budget ~seed:3 () in
+      let cbtm = Baselines.cbtm ~g ~k:4 ~budget in
+      pcfr.Pcfr.outcome.Outcome.score >= cbtm.Outcome.score)
+
+let prop_insertions_verified_and_new =
+  QCheck2.Test.make ~name:"PCFR insertions are new edges and scores verify" ~count:15
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let r = Pcfr.pcfr ~g ~k:4 ~budget:5 ~seed:9 () in
+      List.for_all (fun (u, v) -> not (Graph.mem_edge g u v)) r.Pcfr.outcome.Outcome.inserted
+      && r.Pcfr.outcome.Outcome.score
+         = Score.evaluate_oracle g ~k:4 ~inserted:r.Pcfr.outcome.Outcome.inserted)
+
+let suite =
+  [
+    Alcotest.test_case "fig1: 10 vs 8" `Quick test_fig1_beats_cbtm;
+    Alcotest.test_case "budget respected" `Quick test_fig1_budget_respected;
+    Alcotest.test_case "graph untouched" `Quick test_fig1_graph_untouched;
+    Alcotest.test_case "score verified" `Quick test_score_is_verified;
+    Alcotest.test_case "ablations run" `Quick test_ablations_run;
+    Alcotest.test_case "PCF deterministic" `Quick test_pcf_deterministic;
+    Alcotest.test_case "large budget descends levels" `Slow test_large_budget_descends_levels;
+    Alcotest.test_case "level stats consistent" `Quick test_level_stats_consistent;
+    Alcotest.test_case "no truss material" `Quick test_no_truss_material;
+    Alcotest.test_case "time limit" `Quick test_time_limit;
+    Helpers.qtest prop_pcfr_at_least_cbtm;
+    Helpers.qtest prop_insertions_verified_and_new;
+  ]

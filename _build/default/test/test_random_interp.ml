@@ -1,0 +1,96 @@
+open Graphcore
+open Maxtruss
+
+let test_fig1_finds_plans () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  let rng = Rng.create 1 in
+  let revenue =
+    Random_interp.interpolate ~rng ~ctx ~component:Helpers.fig1_c1_edges ~budget:2
+      ~repeats:200 ()
+  in
+  Alcotest.(check bool) "found plans" true (revenue <> []);
+  (* With 200 repeats the (1, 5) partial plan and the (2, 8) full plan of
+     Example 2 must both be discovered. *)
+  Alcotest.(check int) "S_c[1] = 5" 5 (Plan.score_at revenue 1);
+  Alcotest.(check int) "S_c[2] = 8" 8 (Plan.score_at revenue 2)
+
+let test_deterministic_given_seed () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  let run seed =
+    Random_interp.interpolate ~rng:(Rng.create seed) ~ctx ~component:Helpers.fig1_c1_edges
+      ~budget:2 ~repeats:20 ()
+  in
+  Alcotest.(check bool) "same seed, same revenue" true (run 5 = run 5)
+
+let test_zero_budget () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  let revenue =
+    Random_interp.interpolate ~rng:(Rng.create 1) ~ctx ~component:Helpers.fig1_c1_edges
+      ~budget:0 ~repeats:10 ()
+  in
+  Alcotest.(check (list (pair int int))) "no plans" []
+    (List.map (fun (p : Plan.pair) -> (p.cost, p.score)) revenue)
+
+let test_empty_component () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  let revenue =
+    Random_interp.interpolate ~rng:(Rng.create 1) ~ctx ~component:[] ~budget:5 ~repeats:10 ()
+  in
+  Alcotest.(check bool) "empty" true (revenue = [])
+
+let prop_plans_verify =
+  (* Every pair (P, v) in the revenue must actually achieve v when P alone
+     is inserted — the "peeled edges don't matter" argument of Section IV-B. *)
+  QCheck2.Test.make ~name:"random plans achieve their claimed score" ~count:30
+    QCheck2.Gen.(pair (Helpers.random_graph_gen ()) (int_range 0 100000))
+    (fun (edges, seed) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let k = 4 in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+      QCheck2.assume (comps <> []);
+      let ctx = Score.make_ctx g ~k in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun comp ->
+          let revenue =
+            Random_interp.interpolate ~rng ~ctx ~component:comp ~budget:4 ~repeats:15 ()
+          in
+          List.for_all
+            (fun (p : Plan.pair) ->
+              let plan = Score.pairs_of_keys p.inserted in
+              Score.score ctx plan = p.score && p.cost = List.length p.inserted)
+            revenue)
+        comps)
+
+let prop_normalized =
+  QCheck2.Test.make ~name:"random revenue is normalized" ~count:30
+    QCheck2.Gen.(pair (Helpers.random_graph_gen ()) (int_range 0 100000))
+    (fun (edges, seed) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:3 ~hi:4 in
+      QCheck2.assume (comps <> []);
+      let ctx = Score.make_ctx g ~k:4 in
+      let rng = Rng.create seed in
+      List.for_all
+        (fun comp ->
+          Plan.is_normalized
+            (Random_interp.interpolate ~rng ~ctx ~component:comp ~budget:3 ~repeats:10 ()))
+        comps)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 finds Example 2 plans" `Quick test_fig1_finds_plans;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "zero budget" `Quick test_zero_budget;
+    Alcotest.test_case "empty component" `Quick test_empty_component;
+    Helpers.qtest prop_plans_verify;
+    Helpers.qtest prop_normalized;
+  ]

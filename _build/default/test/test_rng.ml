@@ -1,0 +1,89 @@
+open Graphcore
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  Alcotest.(check int) "streams diverge" 0 !same
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    if x < 0 || x >= 17 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng 5 9 in
+    if x < 5 || x > 9 then Alcotest.failf "out of range: %d" x
+  done
+
+let test_int_in_covers_range () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int_in rng 0 4) <- true
+  done;
+  Array.iteri (fun i b -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true b) seen
+
+let test_float_range () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    if x < 0.0 || x >= 1.0 then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_invalid_bound () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 8 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 20 (fun i -> i)) sorted
+
+let test_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let xa = Rng.bits64 a and xb = Rng.bits64 b in
+  Alcotest.(check bool) "different values" true (xa <> xb)
+
+let prop_sample_distinct =
+  QCheck2.Test.make ~name:"sample_without_replacement yields distinct elements" ~count:200
+    QCheck2.Gen.(pair (int_range 0 30) (int_range 1 1000))
+    (fun (k, seed) ->
+      let rng = Rng.create seed in
+      let arr = Array.init 25 (fun i -> i) in
+      let s = Rng.sample_without_replacement rng k arr in
+      let l = Array.to_list s in
+      List.length (List.sort_uniq compare l) = List.length l
+      && Array.length s = min k 25
+      && List.for_all (fun x -> x >= 0 && x < 25) l)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds diverge" `Quick test_different_seeds;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int_in covers range" `Quick test_int_in_covers_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "invalid bound" `Quick test_invalid_bound;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+    Helpers.qtest prop_sample_distinct;
+  ]

@@ -1,0 +1,89 @@
+open Graphcore
+open Maxtruss
+
+let test_ctx_baseline () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  Alcotest.(check int) "baseline 4-truss is K5" 10 (Hashtbl.length ctx.Score.old_truss)
+
+let test_score_fig1 () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  Alcotest.(check int) "partial plan scores 5" 5 (Score.score ctx [ (2, 7) ]);
+  Alcotest.(check int) "full plan scores 8" 8 (Score.score ctx [ (2, 7); (0, 8) ]);
+  Alcotest.(check int) "both components score 10" 10 (Score.score ctx [ (2, 7); (3, 9) ])
+
+let test_oracle_agrees () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  List.iter
+    (fun plan ->
+      Alcotest.(check int) "incremental vs oracle" (Score.evaluate_oracle g ~k:4 ~inserted:plan)
+        (Score.score ctx plan))
+    [ []; [ (2, 7) ]; [ (2, 7); (0, 8) ]; [ (2, 7); (3, 9) ]; [ (7, 8) ] ]
+
+let test_local_ctx_scores_component_plans () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  let lctx = Score.local_ctx ctx ~component:Helpers.fig1_c1_edges in
+  Alcotest.(check int) "local partial" 5 (Score.score lctx [ (2, 7) ]);
+  Alcotest.(check int) "local full" 8 (Score.score lctx [ (2, 7); (0, 8) ])
+
+let test_local_ctx_preserves_graph () =
+  let g = Helpers.fig1 () in
+  let ctx = Score.make_ctx g ~k:4 in
+  ignore (Score.local_ctx ctx ~component:Helpers.fig1_c1_edges);
+  Alcotest.(check int) "global graph untouched" 22 (Graph.num_edges g)
+
+let test_key_conversions () =
+  let keys = [ Edge_key.make 3 1; Edge_key.make 2 9 ] in
+  Alcotest.(check (list (pair int int))) "keys to pairs" [ (1, 3); (2, 9) ]
+    (Score.pairs_of_keys keys);
+  Alcotest.(check bool) "roundtrip" true
+    (Score.keys_of_pairs (Score.pairs_of_keys keys) = keys)
+
+let prop_score_matches_oracle =
+  QCheck2.Test.make ~name:"ctx score equals oracle on random plans" ~count:80
+    QCheck2.Gen.(
+      pair (Helpers.random_graph_gen ())
+        (list_size (int_range 0 5) (pair (int_range 0 12) (int_range 0 12))))
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let plan = List.filter (fun (u, v) -> u <> v) extra in
+      let ctx = Score.make_ctx g ~k:4 in
+      Score.score ctx plan = Score.evaluate_oracle g ~k:4 ~inserted:plan)
+
+let prop_local_le_global =
+  QCheck2.Test.make ~name:"local component score never exceeds global score" ~count:50
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let k = 4 in
+      let comps = Truss.Connectivity.components ~g ~dec ~lo:(k - 1) ~hi:k in
+      QCheck2.assume (comps <> []);
+      let ctx = Score.make_ctx g ~k in
+      List.for_all
+        (fun comp ->
+          let lctx = Score.local_ctx ctx ~component:comp in
+          let pool = Candidate.pool ~g:lctx.Score.g ~component:comp ~forbidden:g () in
+          Array.for_all
+            (fun key ->
+              let plan = [ Edge_key.endpoints key ] in
+              Score.score lctx plan <= Score.score ctx plan)
+            pool)
+        comps)
+
+let suite =
+  [
+    Alcotest.test_case "ctx baseline" `Quick test_ctx_baseline;
+    Alcotest.test_case "fig1 scores" `Quick test_score_fig1;
+    Alcotest.test_case "oracle agrees" `Quick test_oracle_agrees;
+    Alcotest.test_case "local ctx scores" `Quick test_local_ctx_scores_component_plans;
+    Alcotest.test_case "local ctx preserves graph" `Quick test_local_ctx_preserves_graph;
+    Alcotest.test_case "key conversions" `Quick test_key_conversions;
+    Helpers.qtest prop_score_matches_oracle;
+    Helpers.qtest prop_local_le_global;
+  ]

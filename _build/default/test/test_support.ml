@@ -1,0 +1,45 @@
+open Graphcore
+
+let test_triangle () =
+  let g = Helpers.triangle () in
+  Alcotest.(check int) "each edge support 1" 1 (Truss.Support.of_edge g 0 1)
+
+let test_clique () =
+  let g = Helpers.clique 7 in
+  Alcotest.(check int) "K7 edge support" 5 (Truss.Support.of_edge g 2 3)
+
+let test_all_table () =
+  let g = Helpers.fig1 () in
+  let sup = Truss.Support.all g in
+  Alcotest.(check int) "one entry per edge" (Graph.num_edges g) (Hashtbl.length sup);
+  (* c and d share the K5 neighbors a, b, e *)
+  Alcotest.(check (option int)) "K5 internal edge" (Some 3)
+    (Hashtbl.find_opt sup (Edge_key.make 2 3));
+  Alcotest.(check (option int)) "peripheral edge" (Some 1)
+    (Hashtbl.find_opt sup (Edge_key.make 0 7))
+
+let test_sum () =
+  Alcotest.(check int) "triangle sum" 3 (Truss.Support.sum (Helpers.triangle ()));
+  Alcotest.(check int) "K4 sum" 12 (Truss.Support.sum (Helpers.clique 4))
+
+let prop_all_matches_of_edge =
+  QCheck2.Test.make ~name:"Support.all agrees with per-edge computation" ~count:100
+    (Helpers.random_graph_gen ())
+    (fun edges ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let sup = Truss.Support.all g in
+      let ok = ref true in
+      Graph.iter_edges g (fun u v ->
+          if Hashtbl.find sup (Edge_key.make u v) <> Truss.Support.of_edge g u v then
+            ok := false);
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "triangle" `Quick test_triangle;
+    Alcotest.test_case "clique" `Quick test_clique;
+    Alcotest.test_case "all table" `Quick test_all_table;
+    Alcotest.test_case "sum" `Quick test_sum;
+    Helpers.qtest prop_all_matches_of_edge;
+  ]

@@ -1,0 +1,87 @@
+open Graphcore
+
+let test_singletons () =
+  let uf = Union_find.create 5 in
+  Alcotest.(check int) "five sets" 5 (Union_find.count uf);
+  Alcotest.(check bool) "not same" false (Union_find.same uf 0 1)
+
+let test_union () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 2 3;
+  Alcotest.(check int) "three sets" 3 (Union_find.count uf);
+  Alcotest.(check bool) "0~1" true (Union_find.same uf 0 1);
+  Alcotest.(check bool) "2~3" true (Union_find.same uf 2 3);
+  Alcotest.(check bool) "0!~2" false (Union_find.same uf 0 2)
+
+let test_transitive () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  Union_find.union uf 2 3;
+  Alcotest.(check bool) "0~3" true (Union_find.same uf 0 3)
+
+let test_idempotent_union () =
+  let uf = Union_find.create 4 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 0;
+  Alcotest.(check int) "three sets" 3 (Union_find.count uf)
+
+let test_groups () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 4;
+  Union_find.union uf 1 2;
+  let groups = Union_find.groups uf in
+  let sizes =
+    Hashtbl.fold (fun _ members acc -> List.length members :: acc) groups []
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "group sizes" [ 1; 2; 2 ] sizes
+
+let prop_equivalence =
+  QCheck2.Test.make ~name:"union-find matches naive equivalence closure" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 30) (pair (int_range 0 14) (int_range 0 14)))
+    (fun pairs ->
+      let n = 15 in
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> Union_find.union uf a b) pairs;
+      (* Naive closure by iterating a labelling to fixpoint. *)
+      let label = Array.init n (fun i -> i) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (a, b) ->
+            let m = min label.(a) label.(b) in
+            if label.(a) <> m || label.(b) <> m then begin
+              label.(a) <- m;
+              label.(b) <- m;
+              changed := true
+            end)
+          pairs;
+        (* propagate through chains *)
+        for i = 0 to n - 1 do
+          if label.(label.(i)) <> label.(i) then begin
+            label.(i) <- label.(label.(i));
+            changed := true
+          end
+        done
+      done;
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Union_find.same uf a b <> (label.(a) = label.(b)) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "transitive" `Quick test_transitive;
+    Alcotest.test_case "idempotent union" `Quick test_idempotent_union;
+    Alcotest.test_case "groups" `Quick test_groups;
+    Helpers.qtest prop_equivalence;
+  ]

@@ -1,0 +1,82 @@
+open Graphcore
+open Maxtruss
+
+let mk cost score =
+  let inserted = List.init cost (fun i -> Edge_key.make (1000 + i) (2000 + i)) in
+  { Plan.inserted; cost; score }
+
+let test_uniform_cost () =
+  Alcotest.(check int) "uniform is 1" 1 (Weighted.uniform 3 9);
+  Alcotest.(check int) "plan cost = length" 3
+    (Weighted.plan_cost Weighted.uniform
+       [ Edge_key.make 0 1; Edge_key.make 2 3; Edge_key.make 4 5 ])
+
+let test_by_degree () =
+  let g = Graph.of_edges [ (0, 1); (0, 2); (0, 3); (0, 4); (0, 5); (0, 6); (0, 7); (0, 8) ] in
+  let cost = Weighted.by_degree g in
+  Alcotest.(check bool) "hub edges cost more" true (cost 0 1 > cost 5 6)
+
+let test_reprice_under_uniform_is_identity () =
+  let revenue = Plan.normalize [ mk 1 5; mk 2 8 ] in
+  Alcotest.(check bool) "uniform reprice is a no-op" true
+    (Weighted.reprice Weighted.uniform revenue = revenue)
+
+let test_reprice_doubles () =
+  let revenue = Plan.normalize [ mk 1 5; mk 2 8 ] in
+  let repriced = Weighted.reprice (fun _ _ -> 2) revenue in
+  Alcotest.(check (list (pair int int)))
+    "costs doubled"
+    [ (2, 5); (4, 8) ]
+    (List.map (fun (p : Plan.pair) -> (p.Plan.cost, p.Plan.score)) repriced)
+
+let test_fig1_weighted_equals_unweighted_under_uniform () =
+  let g = Helpers.fig1 () in
+  let w = Weighted.maximize ~g ~k:4 ~budget:2 ~cost:Weighted.uniform () in
+  Alcotest.(check int) "uniform weighted = PCFR level 1" 10 w.Weighted.score;
+  Alcotest.(check int) "spent = 2" 2 w.Weighted.spent
+
+let test_fig1_expensive_edges_halve_the_budget () =
+  let g = Helpers.fig1 () in
+  (* every edge costs 2: budget 2 affords exactly one insertion *)
+  let w = Weighted.maximize ~g ~k:4 ~budget:2 ~cost:(fun _ _ -> 2) () in
+  Alcotest.(check bool) "spends within budget" true (w.Weighted.spent <= 2);
+  Alcotest.(check int) "one edge affordable" 1 (List.length w.Weighted.inserted);
+  Alcotest.(check int) "best single plan scores 5" 5 w.Weighted.score
+
+let test_budget_respected_random () =
+  let rng = Rng.create 12 in
+  let base = Gen.powerlaw_cluster ~rng ~n:150 ~m:5 ~p:0.6 in
+  let g = Gen.with_communities ~rng ~base ~communities:5 ~size_min:8 ~size_max:12 ~drop:0.3 in
+  let cost = Weighted.by_degree g in
+  let w = Weighted.maximize ~g ~k:6 ~budget:20 ~cost () in
+  Alcotest.(check bool) "weighted spend within budget" true (w.Weighted.spent <= 20);
+  Alcotest.(check int) "spend consistent"
+    (Weighted.plan_cost cost (Score.keys_of_pairs w.Weighted.inserted))
+    w.Weighted.spent;
+  Alcotest.(check int) "score verified"
+    (Score.evaluate_oracle g ~k:6 ~inserted:w.Weighted.inserted)
+    w.Weighted.score
+
+let prop_reprice_normalized =
+  QCheck2.Test.make ~name:"repriced menus stay normalized" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 10)
+           (QCheck2.Gen.map (fun (c, s) -> mk c s)
+              (QCheck2.Gen.pair (int_range 1 6) (int_range 1 20))))
+        (int_range 1 4))
+    (fun (pairs, factor) ->
+      let revenue = Plan.normalize pairs in
+      Plan.is_normalized (Weighted.reprice (fun _ _ -> factor) revenue))
+
+let suite =
+  [
+    Alcotest.test_case "uniform cost" `Quick test_uniform_cost;
+    Alcotest.test_case "by_degree" `Quick test_by_degree;
+    Alcotest.test_case "uniform reprice identity" `Quick test_reprice_under_uniform_is_identity;
+    Alcotest.test_case "reprice doubles" `Quick test_reprice_doubles;
+    Alcotest.test_case "fig1 uniform weighted" `Quick test_fig1_weighted_equals_unweighted_under_uniform;
+    Alcotest.test_case "fig1 expensive edges" `Quick test_fig1_expensive_edges_halve_the_budget;
+    Alcotest.test_case "weighted budget respected" `Quick test_budget_respected_random;
+    Helpers.qtest prop_reprice_normalized;
+  ]
