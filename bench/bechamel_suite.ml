@@ -2,7 +2,12 @@
    exercising the computational core of that table/figure at a miniature
    scale so the statistics converge in seconds.  The full-scale experiment
    harness (exp_*.ml) prints the actual paper-shaped tables; this suite
-   measures the kernels' per-iteration cost. *)
+   measures the kernels' per-iteration cost.
+
+   The kernels/ group pits the CSR snapshot kernels (Graphcore.Csr) against
+   their hashtable reference implementations on the largest quick-grid
+   registry dataset, so `--json` runs leave a machine-readable perf trail
+   (BENCH_kernels.json) future changes can diff against. *)
 
 open Bechamel
 open Toolkit
@@ -58,7 +63,7 @@ let test_fig6b =
            let h =
              Truss.Onion.build_h ~g ~backdrop:ctx.Maxtruss.Score.old_truss ~candidates:comp
            in
-           let onion = Truss.Onion.peel ~h:(Graphcore.Graph.copy h) ~k ~candidates:comp in
+           let onion = Truss.Onion.peel ~h ~k ~candidates:comp () in
            ignore (Maxtruss.Block_dag.build ~h ~dec ~k ~component:comp ~onion)))
 
 (* Table V / Fig. 7 kernels: the three DPs on a fixed synthetic menu set. *)
@@ -106,6 +111,71 @@ let test_fig8 =
            let ctx = Maxtruss.Score.make_ctx g ~k in
            ignore (Maxtruss.Convert.convert ~ctx ~target:comp ())))
 
+(* --- CSR kernel layer vs. hashtable reference ----------------------------- *)
+
+(* Largest quick-grid registry dataset. *)
+let kernel_dataset = "gowalla"
+
+let kernel_graph = lazy ((Datasets.Registry.find kernel_dataset).Datasets.Registry.build ())
+let kernel_csr = lazy (Graphcore.Csr.of_graph (Lazy.force kernel_graph))
+
+(* Onion fixture: first (k-1)-class component of the kernel dataset at its
+   default k, plus the local peel subgraph [h]. *)
+let kernel_onion =
+  lazy
+    (let g = Lazy.force kernel_graph in
+     let kd = (Datasets.Registry.find kernel_dataset).Datasets.Registry.default_k in
+     let dec = Truss.Decompose.run g in
+     match Truss.Connectivity.components ~g ~dec ~lo:(kd - 1) ~hi:kd with
+     | [] -> None
+     | comp :: _ ->
+       let backdrop = Truss.Decompose.truss_edge_table dec kd in
+       Some (Truss.Onion.build_h ~g ~backdrop ~candidates:comp, kd, comp))
+
+let kname kernel = Printf.sprintf "kernels/%s@%s" kernel kernel_dataset
+
+let test_csr_build =
+  Test.make ~name:(kname "csr_build")
+    (Staged.stage (fun () -> ignore (Graphcore.Csr.of_graph (Lazy.force kernel_graph))))
+
+let test_csr_support =
+  Test.make ~name:(kname "csr_support")
+    (Staged.stage (fun () -> ignore (Truss.Support.all_csr (Lazy.force kernel_csr))))
+
+let test_ref_support =
+  Test.make ~name:(kname "ref_support")
+    (Staged.stage (fun () ->
+         ignore (Truss.Support.all ~impl:`Hashtbl (Lazy.force kernel_graph))))
+
+let test_csr_decompose =
+  Test.make ~name:(kname "csr_decompose")
+    (Staged.stage (fun () ->
+         ignore (Truss.Decompose.run ~impl:`Csr (Lazy.force kernel_graph))))
+
+let test_ref_decompose =
+  Test.make ~name:(kname "ref_decompose")
+    (Staged.stage (fun () ->
+         ignore (Truss.Decompose.run ~impl:`Hashtbl (Lazy.force kernel_graph))))
+
+let test_csr_onion =
+  Test.make ~name:(kname "csr_onion")
+    (Staged.stage (fun () ->
+         match Lazy.force kernel_onion with
+         | None -> ()
+         | Some (h, kd, comp) ->
+           (* the CSR peel never mutates h, so no defensive copy *)
+           ignore (Truss.Onion.peel ~impl:`Csr ~h ~k:kd ~candidates:comp ())))
+
+let test_ref_onion =
+  Test.make ~name:(kname "ref_onion")
+    (Staged.stage (fun () ->
+         match Lazy.force kernel_onion with
+         | None -> ()
+         | Some (h, kd, comp) ->
+           ignore
+             (Truss.Onion.peel ~impl:`Hashtbl ~h:(Graphcore.Graph.copy h) ~k:kd
+                ~candidates:comp ())))
+
 let benchmark () =
   let tests =
     [
@@ -117,10 +187,18 @@ let benchmark () =
       test_table5_sorted;
       test_fig7_binary;
       test_fig8;
+      test_csr_build;
+      test_csr_support;
+      test_ref_support;
+      test_csr_decompose;
+      test_ref_decompose;
+      test_csr_onion;
+      test_ref_onion;
     ]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -131,7 +209,10 @@ let benchmark () =
               Instance.monotonic_clock result
           in
           match Analyze.OLS.estimates stats with
-          | Some [ est ] -> Printf.printf "%-28s %12.0f ns/run\n%!" name est
-          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Printf.printf "%-34s %14.0f ns/run\n%!" name est
+          | _ -> Printf.printf "%-34s (no estimate)\n%!" name)
         results)
-    tests
+    tests;
+  List.rev !estimates

@@ -50,7 +50,7 @@ let run_b () =
             Truss.Onion.build_h ~g ~backdrop:ctx.Maxtruss.Score.old_truss ~candidates:comp
           in
           let onion =
-            Truss.Onion.peel ~h:(Graphcore.Graph.copy h) ~k ~candidates:comp
+            Truss.Onion.peel ~h:(Graphcore.Graph.copy h) ~k ~candidates:comp ()
           in
           let dag = Maxtruss.Block_dag.build ~h ~dec ~k ~component:comp ~onion in
           Some

@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --full         # paper-sized grids (slow)
      dune exec bench/main.exe -- --only fig4,table5
      dune exec bench/main.exe -- --bechamel     # Bechamel kernel microbenches
+     dune exec bench/main.exe -- --bechamel --json BENCH_kernels.json
      dune exec bench/main.exe -- --list *)
 
 let experiments =
@@ -24,8 +25,52 @@ let experiments =
     ("weighted", "Extension: weighted insertion budgets", Exp_weighted.run);
   ]
 
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Hand-rolled JSON writer: two arrays of {name, value} records.  Values are
+   wall-clock seconds for whole experiments and Bechamel OLS ns/run medians
+   for kernels. *)
+let write_json file ~experiments ~kernels =
+  let oc =
+    try open_out file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 1
+  in
+  let record fmt = Printf.fprintf oc fmt in
+  let emit ~key entries =
+    List.iteri
+      (fun i (name, value) ->
+        record "    { \"name\": \"%s\", \"%s\": %.3f }%s\n" (json_escape name) key value
+          (if i = List.length entries - 1 then "" else ","))
+      entries
+  in
+  record "{\n";
+  record "  \"experiments\": [\n";
+  emit ~key:"seconds" experiments;
+  record "  ],\n";
+  record "  \"kernels\": [\n";
+  emit ~key:"ns_per_run" kernels;
+  record "  ]\n";
+  record "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let bechamel = ref false in
+  let json_file = ref None in
   let rec parse only = function
     | [] -> only
     | "--full" :: rest ->
@@ -35,8 +80,15 @@ let () =
       Exp_common.mode := Exp_common.Quick;
       parse only rest
     | "--bechamel" :: rest ->
-      Bechamel_suite.benchmark ();
-      parse (Some []) rest
+      bechamel := true;
+      (* bare --bechamel runs no experiments; an explicit --only still does *)
+      parse (match only with None -> Some [] | o -> o) rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse only rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a file argument\n";
+      exit 2
     | "--list" :: rest ->
       List.iter (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc) experiments;
       parse (Some []) rest
@@ -52,7 +104,18 @@ let () =
     | Some [] -> []
     | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
   in
+  let kernel_medians = if !bechamel then Bechamel_suite.benchmark () else [] in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, _, run) -> run ()) selected;
+  let timings =
+    List.map
+      (fun (id, _, run) ->
+        let t = Unix.gettimeofday () in
+        run ();
+        (id, Unix.gettimeofday () -. t))
+      selected
+  in
   if selected <> [] then
-    Printf.printf "total harness time: %.1fs\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "total harness time: %.1fs\n" (Unix.gettimeofday () -. t0);
+  match !json_file with
+  | None -> ()
+  | Some file -> write_json file ~experiments:timings ~kernels:kernel_medians

@@ -14,10 +14,7 @@ let compute g =
       let d = Graph.degree g v in
       if d > !max_degree then max_degree := d;
       wedges := !wedges + (d * (d - 1) / 2));
-  (* Each triangle is seen once per edge; divide by 3. *)
-  let tri3 = ref 0 in
-  Graph.iter_edges g (fun u v -> tri3 := !tri3 + Graph.count_common_neighbors g u v);
-  let triangles = !tri3 / 3 in
+  let triangles = Csr.triangle_count (Csr.of_graph g) in
   {
     nodes;
     edges;

@@ -7,11 +7,15 @@ type outcome = {
 }
 
 let csup ~h targets =
+  (* [h] is still pristine here (insertions come later), so take one CSR
+     snapshot and answer every target with sorted-merge intersection instead
+     of per-neighbor hash probes. *)
+  let csr = Csr.of_graph h in
   let tbl = Hashtbl.create (max (List.length targets) 1) in
   List.iter
     (fun key ->
       let u, v = Edge_key.endpoints key in
-      Hashtbl.replace tbl key (Graph.count_common_neighbors h u v))
+      Hashtbl.replace tbl key (Csr.count_common_neighbors csr u v))
     targets;
   tbl
 

@@ -2,12 +2,13 @@ open Graphcore
 
 type t = { tau : (Edge_key.t, int) Hashtbl.t; mutable kmax : int }
 
-let run g =
+(* Reference path: hashtable adjacency, Edge_key-keyed bucket queue. *)
+let run_hashtbl g =
   let work = Graph.copy g in
   let m = Graph.num_edges work in
   let tau = Hashtbl.create (max m 1) in
   let max_sup = ref 0 in
-  let sup = Support.all work in
+  let sup = Support.all ~impl:`Hashtbl work in
   Hashtbl.iter (fun _ s -> if s > !max_sup then max_sup := s) sup;
   let queue = Bucket_queue.create ~max_priority:(max !max_sup 1) in
   Hashtbl.iter (fun key s -> Bucket_queue.add queue key s) sup;
@@ -36,6 +37,81 @@ let run g =
   in
   drain ();
   { tau; kmax = !kmax }
+
+(* CSR path: every piece of peeling state is a flat int array indexed by
+   edge id — supports, liveness, trussness — and the bucket queue is an
+   intrusive doubly-linked list threaded through [next]/[prev], so the
+   whole peel allocates nothing beyond the initial arrays.  Deleted edges
+   are tracked with [alive] flags; the snapshot itself never changes. *)
+let run_csr g =
+  let csr = Csr.of_graph g in
+  let m = Csr.num_edges csr in
+  let tau = Hashtbl.create (max m 1) in
+  if m = 0 then { tau; kmax = 0 }
+  else begin
+    let sup = Support.all_csr csr in
+    let max_sup = Array.fold_left max 0 sup in
+    (* Intrusive bucket list: head.(p) is the first edge with current
+       support p; next/prev thread edges of equal support.  Supports only
+       move down (clamped at k - 2 >= the cursor), so a monotone cursor
+       finds each minimum in amortized O(1). *)
+    let head = Array.make (max_sup + 1) (-1) in
+    let next = Array.make m (-1) in
+    let prev = Array.make m (-1) in
+    let unlink e =
+      let p = sup.(e) in
+      if prev.(e) >= 0 then next.(prev.(e)) <- next.(e) else head.(p) <- next.(e);
+      if next.(e) >= 0 then prev.(next.(e)) <- prev.(e)
+    in
+    let link e p =
+      sup.(e) <- p;
+      prev.(e) <- -1;
+      next.(e) <- head.(p);
+      if head.(p) >= 0 then prev.(head.(p)) <- e;
+      head.(p) <- e
+    in
+    for e = m - 1 downto 0 do
+      link e sup.(e)
+    done;
+    let alive = Array.make m true in
+    let tau_arr = Array.make m 0 in
+    let k = ref 2 in
+    let kmax = ref 2 in
+    let cursor = ref 0 in
+    for _ = 1 to m do
+      while head.(!cursor) < 0 do
+        incr cursor
+      done;
+      let e = head.(!cursor) in
+      let s = !cursor in
+      unlink e;
+      alive.(e) <- false;
+      if s + 2 > !k then k := s + 2;
+      tau_arr.(e) <- !k;
+      if !k > !kmax then kmax := !k;
+      let u, v = Csr.edge_endpoints csr e in
+      let floor = !k - 2 in
+      Csr.iter_common_neighbors_eid csr u v (fun _ e1 e2 ->
+          if alive.(e1) && alive.(e2) then begin
+            let drop e' =
+              let p = sup.(e') in
+              let p' = max (p - 1) floor in
+              if p' <> p then begin
+                unlink e';
+                link e' p'
+              end
+            in
+            drop e1;
+            drop e2
+          end)
+    done;
+    for e = 0 to m - 1 do
+      Hashtbl.replace tau (Csr.edge_key csr e) tau_arr.(e)
+    done;
+    { tau; kmax = !kmax }
+  end
+
+let run ?(impl = `Csr) g = match impl with `Csr -> run_csr g | `Hashtbl -> run_hashtbl g
 
 let trussness t key = Hashtbl.find t.tau key
 

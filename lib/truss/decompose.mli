@@ -10,8 +10,14 @@ open Graphcore
 
 type t
 
-val run : Graph.t -> t
-(** Decompose the graph.  [g] is not modified (peeling happens on a copy). *)
+val run : ?impl:[ `Csr | `Hashtbl ] -> Graph.t -> t
+(** Decompose the graph; [g] is never modified.
+
+    The default [`Csr] implementation freezes [g] into a {!Csr} snapshot and
+    peels on flat edge-id arrays with an intrusive doubly-linked bucket
+    list — no hashing anywhere in the hot loop.  [`Hashtbl] is the original
+    reference path (peeling a mutable copy with an [Edge_key]-keyed bucket
+    queue).  Both produce identical trussness maps. *)
 
 val trussness : t -> Edge_key.t -> int
 (** Trussness of an edge; raises [Not_found] for edges absent from the

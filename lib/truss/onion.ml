@@ -6,7 +6,8 @@ type result = {
   rounds : int;
 }
 
-let peel ~h ~k ~candidates =
+(* Reference path: hashtable supports, edges physically removed from h. *)
+let peel_hashtbl ~h ~k ~candidates =
   let threshold = k - 2 in
   let n = List.length candidates in
   let layer = Hashtbl.create (max n 1) in
@@ -63,6 +64,90 @@ let peel ~h ~k ~candidates =
       sup
   end;
   { layer; max_layer = (if !max_layer = 0 then 0 else !max_layer); rounds = !round }
+
+(* CSR path: one immutable snapshot of h; supports, liveness, layers and the
+   candidate set are flat arrays over edge ids, and removals are [alive]
+   flag flips.  [h] itself is left untouched. *)
+let peel_csr ~h ~k ~candidates =
+  let threshold = k - 2 in
+  let csr = Csr.of_graph h in
+  let m = Csr.num_edges csr in
+  let cand_eid =
+    List.map
+      (fun key ->
+        let u, v = Edge_key.endpoints key in
+        let e = if u = v then -1 else Csr.edge_id csr u v in
+        if e < 0 then invalid_arg "Onion.peel: candidate not in h";
+        e)
+      candidates
+  in
+  let is_cand = Array.make (max m 1) false in
+  List.iter (fun e -> is_cand.(e) <- true) cand_eid;
+  (* Only candidate supports are ever consulted, so intersect per candidate
+     (backdrop triangles included) instead of enumerating every triangle of
+     the snapshot — the backdrop usually dwarfs the candidate set. *)
+  let sup = Array.make (max m 1) 0 in
+  let layer_arr = Array.make (max m 1) 0 in
+  let alive = Array.make (max m 1) true in
+  let remaining = ref 0 in
+  for e = 0 to m - 1 do
+    if is_cand.(e) then begin
+      incr remaining;
+      let u, v = Csr.edge_endpoints csr e in
+      sup.(e) <- Csr.count_common_neighbors csr u v
+    end
+  done;
+  let frontier = ref [] in
+  for e = m - 1 downto 0 do
+    if is_cand.(e) && sup.(e) < threshold then frontier := e :: !frontier
+  done;
+  let round = ref 0 in
+  let max_layer = ref 0 in
+  while !remaining > 0 && !frontier <> [] do
+    incr round;
+    let this_round = !frontier in
+    frontier := [];
+    List.iter
+      (fun e ->
+        if layer_arr.(e) = 0 then begin
+          layer_arr.(e) <- !round;
+          if !round > !max_layer then max_layer := !round;
+          decr remaining
+        end)
+      this_round;
+    List.iter
+      (fun e ->
+        let u, v = Csr.edge_endpoints csr e in
+        Csr.iter_common_neighbors_eid csr u v (fun _ e1 e2 ->
+            if alive.(e1) && alive.(e2) then begin
+              let decr_candidate e' =
+                if is_cand.(e') && layer_arr.(e') = 0 then begin
+                  sup.(e') <- sup.(e') - 1;
+                  if sup.(e') = threshold - 1 then frontier := e' :: !frontier
+                end
+              in
+              decr_candidate e1;
+              decr_candidate e2
+            end);
+        alive.(e) <- false)
+      this_round
+  done;
+  if !remaining > 0 then begin
+    max_layer := !max_layer + 1;
+    for e = 0 to m - 1 do
+      if is_cand.(e) && layer_arr.(e) = 0 then layer_arr.(e) <- !max_layer
+    done
+  end;
+  let layer = Hashtbl.create (max (List.length candidates) 1) in
+  for e = 0 to m - 1 do
+    if is_cand.(e) then Hashtbl.replace layer (Csr.edge_key csr e) layer_arr.(e)
+  done;
+  { layer; max_layer = (if !max_layer = 0 then 0 else !max_layer); rounds = !round }
+
+let peel ?(impl = `Csr) ~h ~k ~candidates () =
+  match impl with
+  | `Csr -> peel_csr ~h ~k ~candidates
+  | `Hashtbl -> peel_hashtbl ~h ~k ~candidates
 
 let build_h ~g ~backdrop ~candidates =
   let h = Graph.create () in

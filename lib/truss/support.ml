@@ -2,12 +2,32 @@ open Graphcore
 
 let of_edge g u v = Graph.count_common_neighbors g u v
 
-let all g =
+let all_csr csr =
+  let sup = Array.make (max (Csr.num_edges csr) 1) 0 in
+  (* Each triangle is enumerated exactly once by the degree orientation;
+     scatter +1 to its three edge ids. *)
+  Csr.iter_triangles csr (fun e1 e2 e3 ->
+      sup.(e1) <- sup.(e1) + 1;
+      sup.(e2) <- sup.(e2) + 1;
+      sup.(e3) <- sup.(e3) + 1);
+  sup
+
+let all_hashtbl g =
   let tbl = Hashtbl.create (Graph.num_edges g) in
   Graph.iter_edges g (fun u v -> Hashtbl.replace tbl (Edge_key.make u v) (of_edge g u v));
   tbl
 
-let sum g =
-  let acc = ref 0 in
-  Graph.iter_edges g (fun u v -> acc := !acc + of_edge g u v);
-  !acc
+let all ?(impl = `Csr) g =
+  match impl with
+  | `Hashtbl -> all_hashtbl g
+  | `Csr ->
+    let csr = Csr.of_graph g in
+    let sup = all_csr csr in
+    let m = Csr.num_edges csr in
+    let tbl = Hashtbl.create (max m 1) in
+    for e = 0 to m - 1 do
+      Hashtbl.replace tbl (Csr.edge_key csr e) sup.(e)
+    done;
+    tbl
+
+let sum g = 3 * Csr.triangle_count (Csr.of_graph g)

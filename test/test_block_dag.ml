@@ -7,7 +7,7 @@ let build_fig1_dag () =
   let ctx = Score.make_ctx g ~k:4 in
   let comp = Helpers.fig1_c1_edges in
   let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-  let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k:4 ~candidates:comp in
+  let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k:4 ~candidates:comp () in
   Block_dag.build ~h ~dec ~k:4 ~component:comp ~onion
 
 let test_fig2_block_structure () =
@@ -86,7 +86,7 @@ let prop_blocks_partition_component =
       List.for_all
         (fun comp ->
           let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp () in
           let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
           let covered = Array.fold_left (fun acc es -> acc + Array.length es) 0 dag.Block_dag.edges_of in
           covered = List.length comp
@@ -118,7 +118,7 @@ let prop_links_go_downhill =
       List.for_all
         (fun comp ->
           let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp () in
           let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
           Array.for_all
             (fun (src, dst, w) ->
@@ -143,7 +143,7 @@ let prop_link_weight_bounded_by_block =
       List.for_all
         (fun comp ->
           let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp () in
           let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
           Array.for_all
             (fun (src, _, w) -> w <= Block_dag.size dag src)

@@ -7,7 +7,7 @@ let build_fig1_dag () =
   let ctx = Score.make_ctx g ~k:4 in
   let comp = Helpers.fig1_c1_edges in
   let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-  let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k:4 ~candidates:comp in
+  let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k:4 ~candidates:comp () in
   Block_dag.build ~h ~dec ~k:4 ~component:comp ~onion
 
 let test_g_zero_anchors_all () =
@@ -59,7 +59,7 @@ let test_sweep_empty_dag () =
   let g = Helpers.clique 4 in
   let dec = Truss.Decompose.run g in
   let ctx = Score.make_ctx g ~k:4 in
-  let onion = Truss.Onion.peel ~h:(Graph.copy g) ~k:6 ~candidates:[] in
+  let onion = Truss.Onion.peel ~h:(Graph.copy g) ~k:6 ~candidates:[] () in
   let dag = Block_dag.build ~h:g ~dec ~k:6 ~component:[] ~onion in
   ignore ctx;
   Alcotest.(check (list int)) "no plans on empty dag" []
@@ -79,7 +79,7 @@ let prop_lemma1_random =
       List.for_all
         (fun comp ->
           let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp () in
           let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
           let gmax = Flow_plan.g_max ~dag ~w1:1 ~w2:1 in
           let prev = ref max_int in
@@ -108,7 +108,7 @@ let prop_h_score_consistent =
       List.for_all
         (fun comp ->
           let h = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:comp in
-          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp in
+          let onion = Truss.Onion.peel ~h:(Graph.copy h) ~k ~candidates:comp () in
           let dag = Block_dag.build ~h ~dec ~k ~component:comp ~onion in
           List.for_all
             (fun sel ->

@@ -8,7 +8,7 @@ let fig1_onion () =
   let ctx = Maxtruss.Score.make_ctx g ~k:4 in
   let comp = Helpers.fig1_c1_edges in
   let h = Truss.Onion.build_h ~g ~backdrop:ctx.Maxtruss.Score.old_truss ~candidates:comp in
-  (comp, Truss.Onion.peel ~h ~k:4 ~candidates:comp)
+  (comp, Truss.Onion.peel ~h ~k:4 ~candidates:comp ())
 
 let layer onion key = Hashtbl.find onion.Truss.Onion.layer key
 
@@ -55,7 +55,7 @@ let test_clique_minus_matching_single_round () =
   let k = Truss.Decompose.kmax dec + 1 in
   let cands = Truss.Decompose.truss_edges dec 2 in
   let h = Graph.copy g in
-  let onion = Truss.Onion.peel ~h ~k ~candidates:cands in
+  let onion = Truss.Onion.peel ~h ~k ~candidates:cands () in
   Alcotest.(check int) "all assigned" (List.length cands) (Hashtbl.length onion.Truss.Onion.layer)
 
 let prop_layers_total_and_positive =
@@ -76,7 +76,7 @@ let prop_layers_total_and_positive =
       QCheck2.assume (cands <> []);
       let backdrop = Truss.Decompose.truss_edge_table dec k in
       let h = Truss.Onion.build_h ~g ~backdrop ~candidates:cands in
-      let onion = Truss.Onion.peel ~h ~k ~candidates:cands in
+      let onion = Truss.Onion.peel ~h ~k ~candidates:cands () in
       Hashtbl.length onion.Truss.Onion.layer = List.length cands
       && Hashtbl.fold (fun _ l acc -> acc && l >= 1 && l <= onion.Truss.Onion.max_layer)
            onion.Truss.Onion.layer true)
@@ -95,7 +95,7 @@ let prop_layer1_edges_fragile =
       let backdrop = Truss.Decompose.truss_edge_table dec k in
       let h = Truss.Onion.build_h ~g ~backdrop ~candidates:!cands in
       let h_frozen = Graph.copy h in
-      let onion = Truss.Onion.peel ~h ~k ~candidates:!cands in
+      let onion = Truss.Onion.peel ~h ~k ~candidates:!cands () in
       Hashtbl.fold
         (fun key l acc ->
           if l = 1 then begin
