@@ -15,10 +15,32 @@ let dataset name =
 
 let default_k name = (Datasets.Registry.find name).Datasets.Registry.default_k
 
+(* Wall-clock plus GC pressure: BENCH_*.json should show when a kernel is
+   fast because it stopped allocating, not just that it got faster. *)
+type timing = {
+  seconds : float;
+  minor_collections : int;
+  major_collections : int;
+  promoted_words : float;
+}
+
 let time f =
+  let q0 = Gc.quick_stat () in
   let t0 = Unix.gettimeofday () in
   let x = f () in
-  (x, Unix.gettimeofday () -. t0)
+  let dt = Unix.gettimeofday () -. t0 in
+  let q1 = Gc.quick_stat () in
+  ( x,
+    {
+      seconds = dt;
+      minor_collections = q1.Gc.minor_collections - q0.Gc.minor_collections;
+      major_collections = q1.Gc.major_collections - q0.Gc.major_collections;
+      promoted_words = q1.Gc.promoted_words -. q0.Gc.promoted_words;
+    } )
+
+let fmt_timing t =
+  Printf.sprintf "%.2fs (gc: %d minor, %d major, %.0f promoted words)" t.seconds
+    t.minor_collections t.major_collections t.promoted_words
 
 let header title =
   Printf.printf "\n=== %s ===\n%!" title

@@ -36,7 +36,7 @@ let run () =
   Exp_common.header "Exp-IV / Table V + Fig. 7: Binary vs Sequential vs Sorted DP (gowalla)";
   let revenues, build_t = Exp_common.time menus in
   Printf.printf "menus for |C| = %d components built in %s\n\n" (Array.length revenues)
-    (Exp_common.fmt_time build_t);
+    (Exp_common.fmt_timing build_t);
   let budgets = Exp_common.pick ~quick:[ 10; 40; 160; 640 ] ~full:[ 10; 40; 160; 640; 2560 ] in
   let run_dp dp b = Exp_common.time (fun () -> dp ~revenues ~budget:b) in
   let results =
@@ -67,8 +67,8 @@ let run () =
     ~x_values:(List.map (fun (b, _, _, _) -> string_of_int b) results)
     ~columns:
       [
-        ("Binary", List.map (fun (_, (_, t), _, _) -> Exp_common.fmt_time t) results);
-        ("Sequential", List.map (fun (_, _, (_, t), _) -> Exp_common.fmt_time t) results);
-        ("Sorted", List.map (fun (_, _, _, (_, t)) -> Exp_common.fmt_time t) results);
+        ("Binary", List.map (fun (_, (_, t), _, _) -> Exp_common.fmt_time t.Exp_common.seconds) results);
+        ("Sequential", List.map (fun (_, _, (_, t), _) -> Exp_common.fmt_time t.Exp_common.seconds) results);
+        ("Sorted", List.map (fun (_, _, _, (_, t)) -> Exp_common.fmt_time t.Exp_common.seconds) results);
       ];
   print_newline ()

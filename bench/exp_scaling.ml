@@ -16,8 +16,8 @@ let bench_decomposition () =
       let g = Graphcore.Gen.powerlaw_cluster ~rng ~n ~m:6 ~p:0.5 in
       let m = Graphcore.Graph.num_edges g in
       let _, t = Exp_common.time (fun () -> Truss.Decompose.run g) in
-      Printf.printf "%-10d %10s %10.2f\n%!" m (Exp_common.fmt_time t)
-        (1e6 *. t /. float_of_int m))
+      Printf.printf "%-10d %10s %10.2f\n%!" m (Exp_common.fmt_time t.Exp_common.seconds)
+        (1e6 *. t.Exp_common.seconds /. float_of_int m))
     (Exp_common.pick ~quick:[ 1000; 4000; 16000 ] ~full:[ 1000; 4000; 16000; 64000 ])
 
 let bench_dinic () =
@@ -38,7 +38,8 @@ let bench_dinic () =
           ignore (Flow.Flow_network.add_arc net ~src:a ~dst:b ~cap:(1 + Graphcore.Rng.int rng 10))
       done;
       let _, time = Exp_common.time (fun () -> Flow.Dinic.max_flow net ~s ~t) in
-      Printf.printf "%-10d %10s\n%!" (Flow.Flow_network.num_arcs net) (Exp_common.fmt_time time))
+      Printf.printf "%-10d %10s\n%!" (Flow.Flow_network.num_arcs net)
+        (Exp_common.fmt_time time.Exp_common.seconds))
     (Exp_common.pick ~quick:[ 100; 1000; 10000 ] ~full:[ 100; 1000; 10000; 100000 ])
 
 let bench_w_ablation () =
@@ -83,8 +84,10 @@ let bench_dp_scaling () =
       let _, t1 = Exp_common.time (fun () -> Maxtruss.Dp.binary ~revenues ~budget:b) in
       let _, t2 = Exp_common.time (fun () -> Maxtruss.Dp.sequential ~revenues ~budget:b) in
       let _, t3 = Exp_common.time (fun () -> Maxtruss.Dp.sorted ~revenues ~budget:b) in
-      Printf.printf "%-8d %-8d %12s %12s %12s\n%!" c b (Exp_common.fmt_time t1)
-        (Exp_common.fmt_time t2) (Exp_common.fmt_time t3))
+      Printf.printf "%-8d %-8d %12s %12s %12s\n%!" c b
+        (Exp_common.fmt_time t1.Exp_common.seconds)
+        (Exp_common.fmt_time t2.Exp_common.seconds)
+        (Exp_common.fmt_time t3.Exp_common.seconds))
     (Exp_common.pick
        ~quick:[ (100, 50); (100, 400); (1000, 50) ]
        ~full:[ (100, 50); (100, 400); (1000, 50); (1000, 400); (4000, 100) ])

@@ -8,6 +8,7 @@
      dune exec bench/main.exe -- --only fig4,table5
      dune exec bench/main.exe -- --bechamel     # Bechamel kernel microbenches
      dune exec bench/main.exe -- --bechamel --json BENCH_kernels.json
+     dune exec bench/main.exe -- --obs --only table4 --json out.json
      dune exec bench/main.exe -- --list *)
 
 let experiments =
@@ -38,9 +39,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-(* Hand-rolled JSON writer: two arrays of {name, value} records.  Values are
-   wall-clock seconds for whole experiments and Bechamel OLS ns/run medians
-   for kernels. *)
+(* Hand-rolled JSON writer: two arrays of {name, value} records (wall-clock
+   seconds + GC pressure for whole experiments, Bechamel OLS ns/run medians
+   for kernels), plus — when the observability layer is on — the metrics
+   object of Obs.metrics_json under the "obs" key. *)
 let write_json file ~experiments ~kernels =
   let oc =
     try open_out file
@@ -58,12 +60,21 @@ let write_json file ~experiments ~kernels =
   in
   record "{\n";
   record "  \"experiments\": [\n";
-  emit ~key:"seconds" experiments;
+  List.iteri
+    (fun i (name, (t : Exp_common.timing)) ->
+      record
+        "    { \"name\": \"%s\", \"seconds\": %.3f, \"minor_collections\": %d, \
+         \"major_collections\": %d, \"promoted_words\": %.0f }%s\n"
+        (json_escape name) t.Exp_common.seconds t.Exp_common.minor_collections
+        t.Exp_common.major_collections t.Exp_common.promoted_words
+        (if i = List.length experiments - 1 then "" else ","))
+    experiments;
   record "  ],\n";
   record "  \"kernels\": [\n";
   emit ~key:"ns_per_run" kernels;
-  record "  ]\n";
-  record "}\n";
+  record "  ]";
+  if Obs.enabled () then record ",\n  \"obs\": %s" (String.trim (Obs.metrics_json ()));
+  record "\n}\n";
   close_out oc;
   Printf.printf "wrote %s\n" file
 
@@ -83,6 +94,11 @@ let () =
       bechamel := true;
       (* bare --bechamel runs no experiments; an explicit --only still does *)
       parse (match only with None -> Some [] | o -> o) rest
+    | "--obs" :: rest ->
+      (* Spans/counters across the whole harness run; dumped to stderr at
+         the end and merged into --json output under the "obs" key. *)
+      Obs.set_enabled true;
+      parse only rest
     | "--json" :: file :: rest ->
       json_file := Some file;
       parse only rest
@@ -109,13 +125,13 @@ let () =
   let timings =
     List.map
       (fun (id, _, run) ->
-        let t = Unix.gettimeofday () in
-        run ();
-        (id, Unix.gettimeofday () -. t))
+        let (), t = Exp_common.time run in
+        (id, t))
       selected
   in
   if selected <> [] then
     Printf.printf "total harness time: %.1fs\n" (Unix.gettimeofday () -. t0);
-  match !json_file with
+  (match !json_file with
   | None -> ()
-  | Some file -> write_json file ~experiments:timings ~kernels:kernel_medians
+  | Some file -> write_json file ~experiments:timings ~kernels:kernel_medians);
+  if Obs.enabled () then Obs.report stderr

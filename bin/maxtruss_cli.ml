@@ -138,8 +138,30 @@ let plan_out =
   let doc = "Write the insertion plan (one `u v` per line) to this file." in
   Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
 
+let stats_flag =
+  let doc = "Print the observability span tree (inclusive/exclusive times, counters) to stderr." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let metrics_out =
+  let doc = "Write the observability metrics JSON (see METRICS_SCHEMA.md) to this file." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_out =
+  let doc = "Write a Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) to this file." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let print_levels levels =
+  if levels <> [] then begin
+    Printf.printf "%-6s %12s %8s %10s %8s\n" "h" "components" "plans" "inserted" "gain";
+    List.iter
+      (fun (l : Maxtruss.Pcfr.level_stat) ->
+        Printf.printf "%-6d %12d %8d %10d %8d\n" l.Maxtruss.Pcfr.h l.Maxtruss.Pcfr.components
+          l.Maxtruss.Pcfr.plans l.Maxtruss.Pcfr.inserted l.Maxtruss.Pcfr.gain)
+      levels
+  end
+
 let maximize_cmd =
-  let run input dataset k budget seed algo plan_out =
+  let run input dataset k budget seed algo plan_out stats metrics trace =
     match load_graph input dataset with
     | Error e ->
       Printf.eprintf "%s\n" e;
@@ -157,19 +179,24 @@ let maximize_cmd =
         1
       end
       else begin
-        let outcome =
+        if stats || metrics <> None || trace <> None then Obs.set_enabled true;
+        let outcome, levels =
+          let of_result (r : Maxtruss.Pcfr.result) =
+            (r.Maxtruss.Pcfr.outcome, r.Maxtruss.Pcfr.levels)
+          in
           match algo with
-          | `Pcfr -> (Maxtruss.Pcfr.pcfr ~seed ~g ~k ~budget ()).Maxtruss.Pcfr.outcome
-          | `Pcf -> (Maxtruss.Pcfr.pcf ~seed ~g ~k ~budget ()).Maxtruss.Pcfr.outcome
-          | `Pcr -> (Maxtruss.Pcfr.pcr ~seed ~g ~k ~budget ()).Maxtruss.Pcfr.outcome
-          | `Cbtm -> Maxtruss.Baselines.cbtm ~g ~k ~budget
-          | `Rd -> Maxtruss.Baselines.rd ~rng:(Graphcore.Rng.create seed) ~g ~k ~budget
-          | `Gtm -> Maxtruss.Baselines.gtm ~g ~k ~budget ()
+          | `Pcfr -> of_result (Maxtruss.Pcfr.pcfr ~seed ~g ~k ~budget ())
+          | `Pcf -> of_result (Maxtruss.Pcfr.pcf ~seed ~g ~k ~budget ())
+          | `Pcr -> of_result (Maxtruss.Pcfr.pcr ~seed ~g ~k ~budget ())
+          | `Cbtm -> (Maxtruss.Baselines.cbtm ~g ~k ~budget, [])
+          | `Rd -> (Maxtruss.Baselines.rd ~rng:(Graphcore.Rng.create seed) ~g ~k ~budget, [])
+          | `Gtm -> (Maxtruss.Baselines.gtm ~g ~k ~budget (), [])
         in
         Printf.printf "inserted %d edges; new %d-truss edges: %d; time: %.2fs%s\n"
           (List.length outcome.Maxtruss.Outcome.inserted)
           k outcome.Maxtruss.Outcome.score outcome.Maxtruss.Outcome.time_s
           (if outcome.Maxtruss.Outcome.timed_out then " (timed out)" else "");
+        print_levels levels;
         (match plan_out with
         | Some path ->
           let oc = open_out path in
@@ -185,12 +212,25 @@ let maximize_cmd =
           if List.length outcome.Maxtruss.Outcome.inserted > 20 then
             Printf.printf "  ... (%d more; use --plan FILE for the full list)\n"
               (List.length outcome.Maxtruss.Outcome.inserted - 20));
+        if stats then Obs.report stderr;
+        (match metrics with
+        | Some path ->
+          Obs.write_metrics path;
+          Printf.printf "metrics written to %s\n" path
+        | None -> ());
+        (match trace with
+        | Some path ->
+          Obs.write_chrome_trace path;
+          Printf.printf "trace written to %s\n" path
+        | None -> ());
         0
       end
   in
   Cmd.v
     (Cmd.info "maximize" ~doc:"Run truss maximization and print/export the insertion plan")
-    Term.(const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ algo_arg $ plan_out)
+    Term.(
+      const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ algo_arg $ plan_out
+      $ stats_flag $ metrics_out $ trace_out)
 
 let () =
   let info =

@@ -1,3 +1,9 @@
+let c_bfs_phases = Obs.Counter.make "dinic.bfs_phases"
+
+let c_aug_paths = Obs.Counter.make "dinic.augmenting_paths"
+
+let c_max_flows = Obs.Counter.make "dinic.max_flow_calls"
+
 let build_levels net ~s ~t =
   let n = Flow_network.num_nodes net in
   let level = Array.make n (-1) in
@@ -51,15 +57,21 @@ let blocking_flow net ~s ~t level =
   let continue = ref true in
   while !continue do
     let sent = dfs s max_int in
-    if sent = 0 then continue := false else total := !total + sent
+    if sent = 0 then continue := false
+    else begin
+      Obs.Counter.incr c_aug_paths;
+      total := !total + sent
+    end
   done;
   !total
 
 let max_flow net ~s ~t =
   if s = t then invalid_arg "Dinic.max_flow: source equals sink";
+  Obs.Counter.incr c_max_flows;
   let flow = ref 0 in
   let continue = ref true in
   while !continue do
+    Obs.Counter.incr c_bfs_phases;
     match build_levels net ~s ~t with
     | None -> continue := false
     | Some level -> flow := !flow + blocking_flow net ~s ~t level

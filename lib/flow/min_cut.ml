@@ -1,7 +1,19 @@
 type t = { value : int; source_side : bool array }
 
+let c_cuts = Obs.Counter.make "min_cut.computations"
+
+let c_cut_value = Obs.Counter.make "min_cut.cut_value_total"
+
+let g_last_cut = Obs.Gauge.make "min_cut.last_cut_value"
+
+let record value =
+  Obs.Counter.incr c_cuts;
+  Obs.Counter.add c_cut_value value;
+  Obs.Gauge.set_int g_last_cut value
+
 let compute net ~s ~t =
   let value = Dinic.max_flow net ~s ~t in
+  record value;
   let n = Flow_network.num_nodes net in
   let side = Array.make n false in
   let queue = Queue.create () in
@@ -19,6 +31,7 @@ let compute net ~s ~t =
 
 let compute_max net ~s ~t =
   let value = Dinic.max_flow net ~s ~t in
+  record value;
   let n = Flow_network.num_nodes net in
   (* Reverse BFS from t: x reaches t through residual arc (x, w) iff that
      arc — stored as the twin of some arc leaving w — has capacity left. *)

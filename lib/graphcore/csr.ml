@@ -38,7 +38,11 @@ let lower_bound arr x lo hi =
   done;
   !lo
 
+let c_snapshots = Obs.Counter.make "csr.snapshots_built"
+
 let of_graph g =
+  let sp = Obs.Span.enter "csr.of_graph" in
+  Obs.Counter.incr c_snapshots;
   let n = Graph.max_node_id g + 1 in
   let m = Graph.num_edges g in
   let deg = Array.make (max n 1) 0 in
@@ -118,7 +122,9 @@ let of_graph g =
        done;
        { node_of_rank; fwd_ptr; fwd_rank; fwd_eid })
   in
-  { n; m; nodes = Graph.num_nodes g; row_ptr; col_idx; eid; up_ptr; mid; esrc; orient }
+  let t = { n; m; nodes = Graph.num_nodes g; row_ptr; col_idx; eid; up_ptr; mid; esrc; orient } in
+  Obs.Span.exit sp;
+  t
 
 let num_nodes t = t.nodes
 let num_edges t = t.m

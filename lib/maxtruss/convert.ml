@@ -208,7 +208,11 @@ let greedy_cascade ~g ~h ~k ~target_key =
   done;
   if !failed then None else Some (List.rev !plan)
 
+let c_conversions = Obs.Counter.make "convert.conversions"
+
 let convert ~ctx ~target ?node_pool () =
+  Obs.Span.with_ "convert.convert" @@ fun () ->
+  Obs.Counter.incr c_conversions;
   let g = ctx.Score.g and k = ctx.Score.k in
   let threshold = k - 2 in
   (* Determinism: the outcome must depend on the target as a set, not on

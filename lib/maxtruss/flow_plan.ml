@@ -2,6 +2,12 @@ open Graphcore
 
 type selection = { g_param : int; blocks : int list; h_score : int; cut_value : int }
 
+let c_probes = Obs.Counter.make "flow_plan.g_probes"
+
+let c_selections = Obs.Counter.make "flow_plan.selections"
+
+let c_variants = Obs.Counter.make "flow_plan.leaf_drop_variants"
+
 let g_max ~dag ~w1 ~w2 =
   (2 * dag.Block_dag.total_link_weight)
   + (w1 * dag.Block_dag.max_layer)
@@ -34,16 +40,19 @@ let min_cut_selection ~dag ~w1 ~w2 ~g =
 
 let sweep ~dag ~w1 ~w2 ~probes =
   if dag.Block_dag.n_blocks = 0 then []
-  else begin
+  else
+    Obs.Span.with_ "flow_plan.sweep" @@ fun () ->
     let seen = Hashtbl.create 16 in
     let results = ref [] in
     let budget = ref probes in
     let eval g =
       decr budget;
+      Obs.Counter.incr c_probes;
       let sel = min_cut_selection ~dag ~w1 ~w2 ~g in
       let signature = String.concat "," (List.map string_of_int sel.blocks) in
       if (not (Hashtbl.mem seen signature)) && sel.blocks <> [] then begin
         Hashtbl.replace seen signature ();
+        Obs.Counter.incr c_selections;
         results := sel :: !results
       end;
       sel
@@ -89,6 +98,7 @@ let sweep ~dag ~w1 ~w2 ~probes =
       let signature = String.concat "," (List.map string_of_int blocks) in
       if (not (Hashtbl.mem seen signature)) && blocks <> [] then begin
         Hashtbl.replace seen signature ();
+        Obs.Counter.incr c_variants;
         incr n_variants;
         variants :=
           { g_param = sel.g_param; blocks; h_score = h; cut_value = sel.cut_value } :: !variants
@@ -123,4 +133,3 @@ let sweep ~dag ~w1 ~w2 ~probes =
           sel.blocks)
       !results;
     List.sort (fun a b -> Int.compare b.h_score a.h_score) (!variants @ !results)
-  end

@@ -43,6 +43,16 @@ let default_config ~k ~budget =
 
 type level_stat = { h : int; components : int; plans : int; inserted : int; gain : int }
 
+let c_plans_generated = Obs.Counter.make "pcfr.plans_generated"
+
+let c_plans_kept = Obs.Counter.make "pcfr.plans_kept"
+
+let c_plans_discarded = Obs.Counter.make "pcfr.plans_discarded"
+
+let c_time_limit_hits = Obs.Counter.make "pcfr.time_limit_hits"
+
+let c_edges_committed = Obs.Counter.make "pcfr.edges_committed"
+
 type result = { outcome : Outcome.t; levels : level_stat list }
 
 let flow_pairs ~ctx ~lctx ~dec ~config ~budget ~component =
@@ -105,6 +115,7 @@ let flow_pairs ~ctx ~lctx ~dec ~config ~budget ~component =
     selections
 
 let component_revenue ~rng ~ctx ~dec ~config ~budget ~component =
+  Obs.Span.with_ "pcfr.component" @@ fun () ->
   (* Plans are scored against the component-local subgraph: exact for the
      promotions a component plan can cause, and far cheaper than scoring
      against the whole graph. *)
@@ -121,6 +132,10 @@ let component_revenue ~rng ~ctx ~dec ~config ~budget ~component =
   Plan.normalize (random_pairs @ flow)
 
 let run config g =
+  Obs.Span.with_
+    ~args:[ ("k", string_of_int config.k); ("budget", string_of_int config.budget) ]
+    "pcfr.run"
+  @@ fun () ->
   let k = config.k in
   let rng = Rng.create config.seed in
   let start = Unix.gettimeofday () in
@@ -143,10 +158,12 @@ let run config g =
     && !h <= config.max_h
   do
     if over_time () then begin
+      Obs.Counter.incr c_time_limit_hits;
       timed_out := true;
       continue := false
     end
-    else begin
+    else
+      Obs.Span.with_ ~args:[ ("h", string_of_int !h) ] "pcfr.level" @@ fun () ->
       let dec = Truss.Decompose.run gw in
       let comps = Truss.Connectivity.components ~g:gw ~dec ~lo:(k - !h) ~hi:k in
       Log.debug (fun m ->
@@ -178,7 +195,10 @@ let run config g =
           |> Array.of_list
         in
         let plan_count = Array.fold_left (fun acc r -> acc + List.length r) 0 revenues in
+        Obs.Counter.add c_plans_generated plan_count;
         let alloc = Dp.solve ~revenues ~budget:!remaining in
+        Obs.Counter.add c_plans_kept (List.length alloc.Dp.chosen);
+        Obs.Counter.add c_plans_discarded (plan_count - List.length alloc.Dp.chosen);
         let chosen_edges =
           List.concat_map (fun (_, (p : Plan.pair)) -> p.inserted) alloc.Dp.chosen
           |> List.sort_uniq Edge_key.compare
@@ -204,6 +224,7 @@ let run config g =
           Log.info (fun m ->
               m "level h=%d: committing %d edges for a verified gain of %d" !h
                 (List.length new_edges) gain);
+          Obs.Counter.add c_edges_committed (List.length new_edges);
           List.iter (fun (u, v) -> ignore (Graph.add_edge gw u v)) as_pairs;
           total_inserted := as_pairs @ !total_inserted;
           remaining := !remaining - List.length new_edges;
@@ -219,7 +240,6 @@ let run config g =
           if !h >= config.max_h then continue := false else incr h
         end
       end
-    end
   done;
   let inserted = List.rev !total_inserted in
   let time_s = Unix.gettimeofday () -. start in

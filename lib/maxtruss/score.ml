@@ -4,7 +4,11 @@ type ctx = { g : Graph.t; k : int; old_truss : (Edge_key.t, unit) Hashtbl.t }
 
 let make_ctx g ~k = { g; k; old_truss = Truss.Truss_query.k_truss_edges g ~k }
 
+let c_evaluations = Obs.Counter.make "score.evaluations"
+
 let evaluate ctx inserted =
+  Obs.Span.with_ "score.evaluate" @@ fun () ->
+  Obs.Counter.incr c_evaluations;
   Truss.Maintain.k_truss_after_insert ~g:ctx.g ~old_truss:ctx.old_truss ~k:ctx.k ~inserted
 
 let local_ctx ctx ~component =
@@ -33,6 +37,7 @@ let local_ctx ctx ~component =
 let score ctx inserted = List.length (evaluate ctx inserted).Truss.Maintain.promoted
 
 let evaluate_oracle g ~k ~inserted =
+  Obs.Span.with_ "score.evaluate_oracle" @@ fun () ->
   let g' = Graph.copy g in
   List.iter (fun (u, v) -> if u <> v then ignore (Graph.add_edge g' u v)) inserted;
   let before = Truss.Truss_query.k_truss_edges g ~k in

@@ -1,0 +1,408 @@
+(* Observability: hierarchical wall-clock spans + counters/gauges with a
+   global registry and three exporters (stderr tree, metrics JSON, Chrome
+   trace events).
+
+   Disabled-path contract: every instrumentation entry point starts with a
+   single branch on [enabled_flag] and returns without allocating, so the
+   kernels can stay instrumented permanently.  Counters and gauges carry a
+   generation stamp instead of living in the registry from [make]: they
+   join it on first use while enabled, which keeps the registry empty (and
+   allocation-free) in disabled runs, and lets [reset] invalidate every
+   outstanding handle in O(1) by bumping the generation. *)
+
+let now () = Unix.gettimeofday ()
+
+let enabled_flag = ref false
+
+let generation = ref 1
+
+type counter = { c_name : string; mutable c_total : int; mutable c_gen : int }
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_gen : int }
+
+type node = {
+  s_name : string;
+  s_args : (string * string) list;
+  s_t0 : float;
+  mutable s_dur : float;  (* negative while the span is open *)
+  mutable s_children : node list;  (* reverse chronological *)
+  mutable s_counters : (counter * int ref) list;  (* own deltas *)
+  s_gen : int;
+}
+
+let make_root () =
+  {
+    s_name = "";
+    s_args = [];
+    s_t0 = now ();
+    s_dur = -1.;
+    s_children = [];
+    s_counters = [];
+    s_gen = !generation;
+  }
+
+let root_node = ref (make_root ())
+
+(* Innermost open span first; the root pseudo-span is always at the bottom. *)
+let stack = ref [ !root_node ]
+
+let epoch = ref (now ())
+
+let counters_reg : counter list ref = ref []
+
+let gauges_reg : gauge list ref = ref []
+
+let enabled () = !enabled_flag
+
+let reset () =
+  incr generation;
+  counters_reg := [];
+  gauges_reg := [];
+  let r = make_root () in
+  root_node := r;
+  stack := [ r ];
+  epoch := now ()
+
+let set_enabled b =
+  enabled_flag := b;
+  (* Fresh registry + no open spans: restart the epoch so trace timestamps
+     start at the moment collection was switched on. *)
+  if b && (!root_node).s_children = [] && List.length !stack = 1 then epoch := now ()
+
+module Span = struct
+  type t = node option
+
+  let none = None
+
+  let enter ?(args = []) name =
+    if not !enabled_flag then None
+    else begin
+      let n =
+        {
+          s_name = name;
+          s_args = args;
+          s_t0 = now ();
+          s_dur = -1.;
+          s_children = [];
+          s_counters = [];
+          s_gen = !generation;
+        }
+      in
+      (match !stack with
+      | top :: _ -> top.s_children <- n :: top.s_children
+      | [] -> stack := [ !root_node ]);
+      stack := n :: !stack;
+      Some n
+    end
+
+  let exit sp =
+    match sp with
+    | None -> ()
+    | Some n ->
+      if n.s_gen = !generation && List.memq n !stack then begin
+        let t = now () in
+        (* Close forgotten open descendants along the way. *)
+        let continue = ref true in
+        while !continue do
+          match !stack with
+          | top :: rest ->
+            if top.s_dur < 0. then top.s_dur <- t -. top.s_t0;
+            stack := rest;
+            if top == n then continue := false
+          | [] -> continue := false
+        done
+      end
+
+  let with_ ?args name f =
+    if not !enabled_flag then f ()
+    else begin
+      let sp = enter ?args name in
+      match f () with
+      | x ->
+        exit sp;
+        x
+      | exception e ->
+        exit sp;
+        raise e
+    end
+end
+
+module Counter = struct
+  type t = counter
+
+  let make name = { c_name = name; c_total = 0; c_gen = 0 }
+
+  let touch c =
+    if c.c_gen <> !generation then begin
+      c.c_total <- 0;
+      c.c_gen <- !generation;
+      counters_reg := c :: !counters_reg
+    end
+
+  let add c n =
+    if !enabled_flag then begin
+      touch c;
+      c.c_total <- c.c_total + n;
+      match !stack with
+      | top :: _ :: _ -> (
+        (* top is a real span (the root is below it): attribute the delta *)
+        match List.assq_opt c top.s_counters with
+        | Some r -> r := !r + n
+        | None -> top.s_counters <- (c, ref n) :: top.s_counters)
+      | _ -> ()
+    end
+
+  let incr c = add c 1
+
+  let value c = if c.c_gen = !generation then c.c_total else 0
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let make name = { g_name = name; g_value = 0.; g_gen = 0 }
+
+  let set g v =
+    if !enabled_flag then begin
+      if g.g_gen <> !generation then begin
+        g.g_gen <- !generation;
+        gauges_reg := g :: !gauges_reg
+      end;
+      g.g_value <- v
+    end
+
+  let set_int g v = set g (float_of_int v)
+
+  let value g = if g.g_gen = !generation then g.g_value else 0.
+end
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                      *)
+
+type span_stat = {
+  path : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  counters : (string * int) list;
+}
+
+let rendered_name n =
+  match n.s_args with
+  | [] -> n.s_name
+  | args ->
+    n.s_name ^ "("
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+    ^ ")"
+
+let node_dur ~t n = if n.s_dur >= 0. then n.s_dur else t -. n.s_t0
+
+(* Group a chronological sibling list by rendered name, preserving
+   first-appearance order; each group keeps its nodes chronological. *)
+let group_siblings nodes =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let key = rendered_name n in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> l := n :: !l
+      | None ->
+        Hashtbl.replace tbl key (ref [ n ]);
+        order := key :: !order)
+    nodes;
+  List.rev_map (fun key -> (key, List.rev !(Hashtbl.find tbl key))) !order
+
+let span_stats () =
+  let t = now () in
+  let acc = ref [] in
+  let rec walk prefix nodes =
+    List.iter
+      (fun (key, ns) ->
+        let path = if prefix = "" then key else prefix ^ "/" ^ key in
+        let total = List.fold_left (fun s n -> s +. node_dur ~t n) 0. ns in
+        let children = List.concat_map (fun n -> List.rev n.s_children) ns in
+        let child_total = List.fold_left (fun s n -> s +. node_dur ~t n) 0. children in
+        let ctr_order = ref [] in
+        let ctr_tbl = Hashtbl.create 8 in
+        List.iter
+          (fun n ->
+            List.iter
+              (fun (c, r) ->
+                match Hashtbl.find_opt ctr_tbl c.c_name with
+                | Some cell -> cell := !cell + !r
+                | None ->
+                  Hashtbl.replace ctr_tbl c.c_name (ref !r);
+                  ctr_order := c.c_name :: !ctr_order)
+              (List.rev n.s_counters))
+          ns;
+        let ctrs =
+          List.rev_map (fun name -> (name, !(Hashtbl.find ctr_tbl name))) !ctr_order
+        in
+        acc :=
+          {
+            path;
+            count = List.length ns;
+            total_s = total;
+            self_s = total -. child_total;
+            counters = ctrs;
+          }
+          :: !acc;
+        walk path (group_siblings children))
+      nodes
+  in
+  walk "" (group_siblings (List.rev (!root_node).s_children));
+  List.rev !acc
+
+let counters () =
+  List.rev_map (fun c -> (c.c_name, c.c_total)) !counters_reg
+
+let gauges () = List.rev_map (fun g -> (g.g_name, g.g_value)) !gauges_reg
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                          *)
+
+let report oc =
+  let stats = span_stats () in
+  if stats <> [] then begin
+    Printf.fprintf oc "[obs] span tree (count, inclusive, exclusive):\n";
+    List.iter
+      (fun s ->
+        let depth = ref 0 in
+        String.iter (fun c -> if c = '/' then incr depth) s.path;
+        let leaf =
+          match String.rindex_opt s.path '/' with
+          | Some i -> String.sub s.path (i + 1) (String.length s.path - i - 1)
+          | None -> s.path
+        in
+        Printf.fprintf oc "  %s%-*s %6dx %10.4fs %10.4fs" (String.make (2 * !depth) ' ')
+          (max 1 (40 - (2 * !depth)))
+          leaf s.count s.total_s s.self_s;
+        if s.counters <> [] then begin
+          Printf.fprintf oc "  {%s}"
+            (String.concat ", "
+               (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) s.counters))
+        end;
+        Printf.fprintf oc "\n")
+      stats
+  end;
+  let cs = counters () in
+  if cs <> [] then begin
+    Printf.fprintf oc "[obs] counters:\n";
+    List.iter (fun (k, v) -> Printf.fprintf oc "  %-46s %d\n" k v) cs
+  end;
+  let gs = gauges () in
+  if gs <> [] then begin
+    Printf.fprintf oc "[obs] gauges:\n";
+    List.iter (fun (k, v) -> Printf.fprintf oc "  %-46s %g\n" k v) gs
+  end;
+  flush oc
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  (* %.6f keeps the output plain (no exponents) and precise to the µs. *)
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "0"
+
+let metrics_json () =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"maxtruss-obs-metrics\",\n";
+  add "  \"version\": 1,\n";
+  add "  \"enabled\": %b,\n" !enabled_flag;
+  let stats = span_stats () in
+  add "  \"spans\": [";
+  List.iteri
+    (fun i s ->
+      add "%s\n    { \"path\": \"%s\", \"count\": %d, \"total_s\": %s, \"self_s\": %s"
+        (if i = 0 then "" else ",")
+        (json_escape s.path) s.count (json_float s.total_s) (json_float s.self_s);
+      if s.counters <> [] then begin
+        add ", \"counters\": { ";
+        List.iteri
+          (fun j (k, v) ->
+            add "%s\"%s\": %d" (if j = 0 then "" else ", ") (json_escape k) v)
+          s.counters;
+        add " }"
+      end;
+      add " }")
+    stats;
+  add "%s  ],\n" (if stats = [] then "" else "\n");
+  let cs = counters () in
+  add "  \"counters\": {";
+  List.iteri
+    (fun i (k, v) ->
+      add "%s\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape k) v)
+    cs;
+  add "%s  },\n" (if cs = [] then "" else "\n");
+  let gs = gauges () in
+  add "  \"gauges\": {";
+  List.iteri
+    (fun i (k, v) ->
+      add "%s\n    \"%s\": %s" (if i = 0 then "" else ",") (json_escape k) (json_float v))
+    gs;
+  add "%s  }\n" (if gs = [] then "" else "\n");
+  add "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_metrics path = write_file path (metrics_json ())
+
+let chrome_trace_json () =
+  let t = now () in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{ \"traceEvents\": [\n";
+  add
+    "  { \"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"args\": { \
+     \"name\": \"maxtruss\" } }";
+  let emit n =
+    let ts = (n.s_t0 -. !epoch) *. 1e6 in
+    let dur = node_dur ~t n *. 1e6 in
+    add
+      ",\n  { \"name\": \"%s\", \"cat\": \"maxtruss\", \"ph\": \"X\", \"ts\": %s, \"dur\": \
+       %s, \"pid\": 1, \"tid\": 1"
+      (json_escape n.s_name) (json_float ts) (json_float dur);
+    let args = n.s_args @ List.rev_map (fun (c, r) -> (c.c_name, string_of_int !r)) (List.rev n.s_counters) in
+    if args <> [] then begin
+      add ", \"args\": { ";
+      List.iteri
+        (fun i (k, v) ->
+          (* span args are strings; counter deltas are numeric *)
+          let is_counter = i >= List.length n.s_args in
+          if is_counter then
+            add "%s\"%s\": %s" (if i = 0 then "" else ", ") (json_escape k) v
+          else add "%s\"%s\": \"%s\"" (if i = 0 then "" else ", ") (json_escape k) (json_escape v))
+        args;
+      add " }"
+    end;
+    add " }"
+  in
+  let rec walk n =
+    emit n;
+    List.iter walk (List.rev n.s_children)
+  in
+  List.iter walk (List.rev (!root_node).s_children);
+  add "\n] }\n";
+  Buffer.contents buf
+
+let write_chrome_trace path = write_file path (chrome_trace_json ())

@@ -1,0 +1,111 @@
+(** Zero-dependency observability for the PCFR pipeline: hierarchical
+    wall-clock spans, named counters and gauges in a global registry, and
+    three exporters (indented span tree, schema-versioned metrics JSON,
+    Chrome trace-event JSON loadable in Perfetto / [chrome://tracing]).
+
+    Overhead contract: everything is off by default.  While disabled,
+    [Span.enter]/[Span.exit] with a static name, [Counter.add]/[incr] and
+    [Gauge.set] cost a single mutable-bool branch and allocate nothing, so
+    instrumentation may stay in kernel hot paths; the registry does not
+    grow (counters and gauges only register themselves on first use while
+    enabled).  The only call-site allocations are optional [?args] lists,
+    which instrumented code confines to coarse (per-level) granularity.
+
+    The layer is deliberately single-threaded, like the pipeline: spans
+    form one tree per process between two [reset]s. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Turning collection on also (re)starts the trace epoch if the registry
+    is empty.  Disabling mid-run keeps collected data for export. *)
+
+val reset : unit -> unit
+(** Drop all spans and unregister all counters/gauges (their totals restart
+    from zero on next use).  Does not change the enabled flag. *)
+
+module Span : sig
+  type t
+
+  val none : t
+  (** The no-op span; what [enter] returns while disabled. *)
+
+  val enter : ?args:(string * string) list -> string -> t
+  (** Open a span under the currently innermost open span.  [?args] are
+      free-form key/value annotations kept in exports; omit them on hot
+      paths (the list is allocated by the caller even when disabled). *)
+
+  val exit : t -> unit
+  (** Close the span (and, defensively, any forgotten children still open
+      inside it).  No-op on [none] or a span from before the last [reset]. *)
+
+  val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+  (** [with_ name f] = [enter]/[exit] around [f ()], exception-safe. *)
+end
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Pure allocation: safe at module-initialization time; the counter
+      joins the registry on first [add]/[incr] while enabled. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+
+  val value : t -> int
+  (** Total since the last [reset] (0 if untouched since). *)
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+
+  val set : t -> float -> unit
+  (** Last-write-wins; exports report the most recent value. *)
+
+  val set_int : t -> int -> unit
+  val value : t -> float
+end
+
+(** {2 Introspection (used by the exporters and the test suite)} *)
+
+type span_stat = {
+  path : string;
+      (** ["a/b(h=2)"]-style path: span names root-to-leaf, with [?args]
+          rendered in parentheses; sibling spans with equal paths are
+          aggregated. *)
+  count : int;
+  total_s : float;  (** inclusive wall-clock seconds, summed over [count] *)
+  self_s : float;  (** exclusive: [total_s] minus the children's [total_s] *)
+  counters : (string * int) list;
+      (** counter increments attributed to this span (innermost-open-span
+          attribution), summed over the aggregated occurrences *)
+}
+
+val span_stats : unit -> span_stat list
+(** Aggregated span tree in preorder; open spans are measured up to now. *)
+
+val counters : unit -> (string * int) list
+(** Registered counters in registration order. *)
+
+val gauges : unit -> (string * float) list
+
+(** {2 Exporters} *)
+
+val report : out_channel -> unit
+(** Indented human-readable span tree: count, inclusive and exclusive
+    times, per-span counters, followed by global counters and gauges. *)
+
+val metrics_json : unit -> string
+(** Schema-versioned metrics object (see METRICS_SCHEMA.md):
+    [{"schema": "maxtruss-obs-metrics", "version": 1, ...}]. *)
+
+val write_metrics : string -> unit
+
+val chrome_trace_json : unit -> string
+(** [{"traceEvents": [...]}] with one complete ("ph":"X") event per span
+    occurrence; timestamps are microseconds since the trace epoch. *)
+
+val write_chrome_trace : string -> unit

@@ -2,6 +2,8 @@ open Graphcore
 
 type t = { tau : (Edge_key.t, int) Hashtbl.t; mutable kmax : int }
 
+let c_edges_peeled = Obs.Counter.make "decompose.edges_peeled"
+
 (* Reference path: hashtable adjacency, Edge_key-keyed bucket queue. *)
 let run_hashtbl g =
   let work = Graph.copy g in
@@ -111,7 +113,11 @@ let run_csr g =
     { tau; kmax = !kmax }
   end
 
-let run ?(impl = `Csr) g = match impl with `Csr -> run_csr g | `Hashtbl -> run_hashtbl g
+let run ?(impl = `Csr) g =
+  Obs.Span.with_ "truss.decompose" (fun () ->
+      let t = match impl with `Csr -> run_csr g | `Hashtbl -> run_hashtbl g in
+      Obs.Counter.add c_edges_peeled (Hashtbl.length t.tau);
+      t)
 
 let trussness t key = Hashtbl.find t.tau key
 

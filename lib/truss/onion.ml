@@ -6,6 +6,10 @@ type result = {
   rounds : int;
 }
 
+let c_rounds = Obs.Counter.make "onion.peel_rounds"
+
+let c_candidates = Obs.Counter.make "onion.candidates"
+
 (* Reference path: hashtable supports, edges physically removed from h. *)
 let peel_hashtbl ~h ~k ~candidates =
   let threshold = k - 2 in
@@ -145,9 +149,15 @@ let peel_csr ~h ~k ~candidates =
   { layer; max_layer = (if !max_layer = 0 then 0 else !max_layer); rounds = !round }
 
 let peel ?(impl = `Csr) ~h ~k ~candidates () =
-  match impl with
-  | `Csr -> peel_csr ~h ~k ~candidates
-  | `Hashtbl -> peel_hashtbl ~h ~k ~candidates
+  Obs.Span.with_ "onion.peel" (fun () ->
+      let r =
+        match impl with
+        | `Csr -> peel_csr ~h ~k ~candidates
+        | `Hashtbl -> peel_hashtbl ~h ~k ~candidates
+      in
+      Obs.Counter.add c_rounds r.rounds;
+      Obs.Counter.add c_candidates (List.length candidates);
+      r)
 
 let build_h ~g ~backdrop ~candidates =
   let h = Graph.create () in

@@ -1,0 +1,299 @@
+(* Obs: span nesting / exclusive-time invariants, counter determinism
+   across fixed-seed runs, the disabled-mode zero-footprint contract, and
+   that both JSON exporters emit well-formed JSON (checked with the minimal
+   recursive-descent parser below — no JSON dependency in the repo). *)
+
+open Maxtruss
+
+(* --- minimal strict JSON well-formedness checker --- *)
+
+exception Bad_json of string
+
+let check_json s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !i)) in
+  let peek () = if !i < n then s.[!i] else '\000' in
+  let skip_ws () =
+    while
+      !i < n && match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr i
+    done
+  in
+  let expect c = if peek () = c then incr i else fail (Printf.sprintf "expected '%c'" c) in
+  let literal w =
+    String.iter (fun c -> if peek () = c then incr i else fail ("in literal " ^ w)) w
+  in
+  let string_lit () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then fail "unterminated string"
+      else begin
+        (match s.[!i] with
+        | '"' -> fin := true
+        | '\\' -> incr i (* skip escaped char *)
+        | c when Char.code c < 0x20 -> fail "raw control char in string"
+        | _ -> ());
+        incr i
+      end
+    done
+  in
+  let number () =
+    if peek () = '-' then incr i;
+    let digits = ref 0 in
+    while match peek () with '0' .. '9' -> true | _ -> false do
+      incr i;
+      incr digits
+    done;
+    if !digits = 0 then fail "number";
+    if peek () = '.' then begin
+      incr i;
+      while match peek () with '0' .. '9' -> true | _ -> false do
+        incr i
+      done
+    end;
+    if peek () = 'e' || peek () = 'E' then begin
+      incr i;
+      if peek () = '+' || peek () = '-' then incr i;
+      while match peek () with '0' .. '9' -> true | _ -> false do
+        incr i
+      done
+    end
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr i;
+      skip_ws ();
+      if peek () = '}' then incr i
+      else begin
+        let fin = ref false in
+        while not !fin do
+          skip_ws ();
+          string_lit ();
+          skip_ws ();
+          expect ':';
+          value ();
+          skip_ws ();
+          match peek () with
+          | ',' -> incr i
+          | '}' ->
+            incr i;
+            fin := true
+          | _ -> fail "object"
+        done
+      end
+    | '[' ->
+      incr i;
+      skip_ws ();
+      if peek () = ']' then incr i
+      else begin
+        let fin = ref false in
+        while not !fin do
+          value ();
+          skip_ws ();
+          match peek () with
+          | ',' -> incr i
+          | ']' ->
+            incr i;
+            fin := true
+          | _ -> fail "array"
+        done
+      end
+    | '"' -> string_lit ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | '-' | '0' .. '9' -> number ()
+    | _ -> fail "value"
+  in
+  value ();
+  skip_ws ();
+  if !i <> n then fail "trailing garbage"
+
+(* --- helpers --- *)
+
+let with_obs f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let spin seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ()
+  done
+
+let find_stat stats path =
+  match List.find_opt (fun (s : Obs.span_stat) -> s.Obs.path = path) stats with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not in stats" path
+
+(* --- tests --- *)
+
+let test_span_nesting () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ "a" (fun () ->
+      spin 0.004;
+      Obs.Span.with_ "b" (fun () -> spin 0.003);
+      Obs.Span.with_ "b" (fun () -> spin 0.002);
+      Obs.Span.with_ ~args:[ ("x", "1") ] "c" (fun () -> spin 0.001));
+  let stats = Obs.span_stats () in
+  Alcotest.(check (list string))
+    "paths in preorder"
+    [ "a"; "a/b"; "a/c(x=1)" ]
+    (List.map (fun (s : Obs.span_stat) -> s.Obs.path) stats);
+  let a = find_stat stats "a" in
+  let b = find_stat stats "a/b" in
+  let c = find_stat stats "a/c(x=1)" in
+  Alcotest.(check int) "a once" 1 a.Obs.count;
+  Alcotest.(check int) "b aggregated" 2 b.Obs.count;
+  Alcotest.(check int) "c once" 1 c.Obs.count;
+  Alcotest.(check bool) "children nest inside parent" true
+    (a.Obs.total_s +. 1e-9 >= b.Obs.total_s +. c.Obs.total_s);
+  (* exclusive = inclusive minus the children's inclusive time *)
+  Alcotest.(check bool) "exclusive-time identity" true
+    (Float.abs (a.Obs.self_s -. (a.Obs.total_s -. b.Obs.total_s -. c.Obs.total_s)) < 1e-9);
+  List.iter
+    (fun (s : Obs.span_stat) ->
+      Alcotest.(check bool) (s.Obs.path ^ " self >= 0") true (s.Obs.self_s >= -1e-9);
+      Alcotest.(check bool)
+        (s.Obs.path ^ " total >= self")
+        true
+        (s.Obs.total_s +. 1e-9 >= s.Obs.self_s))
+    stats
+
+let test_counter_attribution () =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test.ctr" in
+  Obs.Span.with_ "a" (fun () ->
+      Obs.Counter.add c 2;
+      Obs.Span.with_ "b" (fun () -> Obs.Counter.incr c));
+  Alcotest.(check int) "global total" 3 (Obs.Counter.value c);
+  Alcotest.(check (list (pair string int))) "registry" [ ("test.ctr", 3) ] (Obs.counters ());
+  let stats = Obs.span_stats () in
+  Alcotest.(check (list (pair string int)))
+    "own delta on a" [ ("test.ctr", 2) ] (find_stat stats "a").Obs.counters;
+  Alcotest.(check (list (pair string int)))
+    "own delta on a/b" [ ("test.ctr", 1) ] (find_stat stats "a/b").Obs.counters
+
+let test_exit_closes_forgotten_children () =
+  with_obs @@ fun () ->
+  let outer = Obs.Span.enter "outer" in
+  let _inner = Obs.Span.enter "inner" in
+  Obs.Span.exit outer;
+  (* both closed: a new span nests under the root, not under "inner" *)
+  Obs.Span.with_ "after" (fun () -> ());
+  Alcotest.(check (list string))
+    "forgotten child closed with parent"
+    [ "outer"; "outer/inner"; "after" ]
+    (List.map (fun (s : Obs.span_stat) -> s.Obs.path) (Obs.span_stats ()))
+
+let pcfr_counters () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    (fun () ->
+      let g = Helpers.fig1 () in
+      ignore (Pcfr.pcfr ~g ~k:4 ~budget:2 ~seed:5 ());
+      Obs.counters ())
+
+let test_counters_deterministic () =
+  (* Same graph, same seed: the whole pipeline is deterministic, so every
+     registered counter (probes, BFS phases, augmenting paths, plans, ...)
+     must agree across runs. *)
+  let a = pcfr_counters () in
+  let b = pcfr_counters () in
+  Alcotest.(check bool) "counters non-empty" true (a <> []);
+  Alcotest.(check (list (pair string int))) "identical across runs" a b
+
+let test_disabled_no_footprint () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  let c = Obs.Counter.make "test.disabled_ctr" in
+  let g = Obs.Gauge.make "test.disabled_gauge" in
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  Obs.Gauge.set g 3.5;
+  Obs.Span.with_ "x" (fun () -> ());
+  let sp = Obs.Span.enter ~args:[ ("k", "9") ] "y" in
+  Obs.Span.exit sp;
+  Alcotest.(check bool) "enter returns the no-op span" true (sp == Obs.Span.none);
+  (* an instrumented end-to-end run must not register anything either *)
+  ignore (Pcfr.pcfr ~g:(Helpers.fig1 ()) ~k:4 ~budget:2 ());
+  Alcotest.(check (list (pair string int))) "no counters registered" [] (Obs.counters ());
+  Alcotest.(check int) "gauge registry empty" 0 (List.length (Obs.gauges ()));
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.span_stats ()));
+  Alcotest.(check int) "counter value stays 0" 0 (Obs.Counter.value c)
+
+let test_exported_json_parses () =
+  with_obs (fun () ->
+      let g = Helpers.fig1 () in
+      ignore (Pcfr.pcfr ~g ~k:4 ~budget:2 ());
+      check_json (Obs.metrics_json ());
+      check_json (Obs.chrome_trace_json ()));
+  (* empty registry exports must be valid too *)
+  check_json (Obs.metrics_json ());
+  check_json (Obs.chrome_trace_json ())
+
+let test_metrics_contract () =
+  (* The fields downstream tooling greps for (METRICS_SCHEMA.md). *)
+  with_obs @@ fun () ->
+  let g = Helpers.fig1 () in
+  ignore (Pcfr.pcfr ~g ~k:4 ~budget:2 ());
+  let m = Obs.metrics_json () in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and ml = String.length m in
+        let rec at i = i + nl <= ml && (String.sub m i nl = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) (needle ^ " present") true found)
+    [
+      "\"schema\": \"maxtruss-obs-metrics\"";
+      "\"version\": 1";
+      "pcfr.level(h=1)";
+      "dinic.augmenting_paths";
+      "dinic.bfs_phases";
+      "pcfr.plans_generated";
+      "pcfr.plans_kept";
+      "csr.of_graph";
+    ]
+
+let test_reset_invalidates_handles () =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test.reset_ctr" in
+  Obs.Counter.add c 7;
+  Alcotest.(check int) "counted" 7 (Obs.Counter.value c);
+  Obs.reset ();
+  Obs.set_enabled true;
+  Alcotest.(check int) "reset zeroes the handle" 0 (Obs.Counter.value c);
+  Alcotest.(check (list (pair string int))) "registry cleared" [] (Obs.counters ());
+  Obs.Counter.incr c;
+  Alcotest.(check (list (pair string int)))
+    "handle re-registers after reset" [ ("test.reset_ctr", 1) ] (Obs.counters ())
+
+let suite =
+  [
+    Alcotest.test_case "span nesting + exclusive time" `Quick test_span_nesting;
+    Alcotest.test_case "counter attribution" `Quick test_counter_attribution;
+    Alcotest.test_case "exit closes forgotten children" `Quick
+      test_exit_closes_forgotten_children;
+    Alcotest.test_case "counters deterministic (fixed seed)" `Quick
+      test_counters_deterministic;
+    Alcotest.test_case "disabled mode has no footprint" `Quick test_disabled_no_footprint;
+    Alcotest.test_case "exported JSON parses" `Quick test_exported_json_parses;
+    Alcotest.test_case "metrics contract fields" `Quick test_metrics_contract;
+    Alcotest.test_case "reset invalidates handles" `Quick test_reset_invalidates_handles;
+  ]
