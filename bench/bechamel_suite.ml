@@ -176,7 +176,30 @@ let test_ref_onion =
              (Truss.Onion.peel ~impl:`Hashtbl ~h:(Graphcore.Graph.copy h) ~k:kd
                 ~candidates:comp ())))
 
-let benchmark () =
+(* One kernel's multi-sample measurement: Bechamel's raw linear-regression
+   samples, normalized per run, feed the median/MAD baseline statistics
+   (Perf_baseline) while the OLS estimate keeps the familiar printed
+   number and the legacy --json "ns_per_run" value. *)
+type kernel_run = {
+  kr_name : string;
+  kr_ns_est : float;  (* Bechamel OLS ns/run estimate *)
+  kr_ns : float array;  (* per-sample wall time, ns/run *)
+  kr_alloc_w : float array;  (* per-sample minor+major-promoted words/run *)
+}
+
+let per_run raws ~f =
+  Array.to_list raws
+  |> List.filter_map (fun raw ->
+         let runs = Measurement_raw.run raw in
+         if runs > 0. then Some (f raw /. runs) else None)
+  |> Array.of_list
+
+(* [quota_s] bounds the sampling time per kernel.  The 1s default keeps the
+   interactive run snappy; baseline recording passes a larger quota so even
+   the slowest kernel (ref_decompose, ~1.3s/run) collects the >= 5 samples
+   the median/MAD statistics need (samples ramp linearly in run count, so
+   N samples cost ~N*(N+1)/2 runs). *)
+let benchmark ?(quota_s = 1.0) () =
   let tests =
     [
       test_table4;
@@ -196,23 +219,37 @@ let benchmark () =
       test_ref_onion;
     ]
   in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 100) () in
-  let estimates = ref [] in
+  let instances =
+    Instance.[ monotonic_clock; minor_allocated; major_allocated; promoted ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota_s) ~kde:(Some 100) () in
+  let acc = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
       Hashtbl.iter
-        (fun name result ->
+        (fun name (result : Benchmark.t) ->
+          let raws = result.Benchmark.lr in
+          let ns = per_run raws ~f:(Measurement_raw.get ~label:"monotonic-clock") in
+          let alloc_w =
+            per_run raws ~f:(fun raw ->
+                Measurement_raw.get ~label:"minor-allocated" raw
+                +. Measurement_raw.get ~label:"major-allocated" raw
+                -. Measurement_raw.get ~label:"promoted" raw)
+          in
           let stats =
             Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
               Instance.monotonic_clock result
           in
-          match Analyze.OLS.estimates stats with
-          | Some [ est ] ->
-            estimates := (name, est) :: !estimates;
-            Printf.printf "%-34s %14.0f ns/run\n%!" name est
-          | _ -> Printf.printf "%-34s (no estimate)\n%!" name)
+          let est =
+            match Analyze.OLS.estimates stats with
+            | Some [ est ] -> est
+            | _ -> Perf_baseline.median ns
+          in
+          acc := { kr_name = name; kr_ns_est = est; kr_ns = ns; kr_alloc_w = alloc_w } :: !acc;
+          Printf.printf "%-34s %14.0f ns/run  (median %.0f +- %.0f mad, %d samples, %.0fw/run)\n%!"
+            name est (Perf_baseline.median ns) (Perf_baseline.mad ns) (Array.length ns)
+            (Perf_baseline.median alloc_w))
         results)
     tests;
-  List.rev !estimates
+  List.rev !acc

@@ -7,9 +7,17 @@
      dune exec bench/main.exe -- --full         # paper-sized grids (slow)
      dune exec bench/main.exe -- --only fig4,table5
      dune exec bench/main.exe -- --bechamel     # Bechamel kernel microbenches
-     dune exec bench/main.exe -- --bechamel --json BENCH_kernels.json
+     dune exec bench/main.exe -- --record BENCH_kernels.json   # write perf baseline
+     dune exec bench/main.exe -- --check BENCH_kernels.json    # perf-regression gate
+     dune exec bench/main.exe -- --check BENCH_kernels.json --tol 0.6 --kmad 10
+     dune exec bench/main.exe -- --record b.json --quota 4   # sampling budget/kernel
      dune exec bench/main.exe -- --obs --only table4 --json out.json
-     dune exec bench/main.exe -- --list *)
+     dune exec bench/main.exe -- --list
+
+   --record re-runs the Bechamel kernel suite and writes the median/MAD/
+   alloc baseline (schema: METRICS_SCHEMA.md § baseline); --check compares
+   a fresh run against such a file and exits 1 when any kernel's fresh
+   median exceeds baseline + max(tol * baseline, kmad * MAD). *)
 
 let experiments =
   [
@@ -82,6 +90,18 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let bechamel = ref false in
   let json_file = ref None in
+  let record_file = ref None in
+  let check_file = ref None in
+  let check_tol = ref 0.25 in
+  let check_kmad = ref 5.0 in
+  let quota = ref None in
+  let float_arg flag v =
+    match float_of_string_opt v with
+    | Some f when f >= 0. -> f
+    | _ ->
+      Printf.eprintf "%s expects a non-negative number, got %S\n" flag v;
+      exit 2
+  in
   let rec parse only = function
     | [] -> only
     | "--full" :: rest ->
@@ -94,6 +114,26 @@ let () =
       bechamel := true;
       (* bare --bechamel runs no experiments; an explicit --only still does *)
       parse (match only with None -> Some [] | o -> o) rest
+    | "--record" :: file :: rest ->
+      record_file := Some file;
+      bechamel := true;
+      parse (match only with None -> Some [] | o -> o) rest
+    | "--check" :: file :: rest ->
+      check_file := Some file;
+      bechamel := true;
+      parse (match only with None -> Some [] | o -> o) rest
+    | "--tol" :: v :: rest ->
+      check_tol := float_arg "--tol" v;
+      parse only rest
+    | "--kmad" :: v :: rest ->
+      check_kmad := float_arg "--kmad" v;
+      parse only rest
+    | "--quota" :: v :: rest ->
+      quota := Some (float_arg "--quota" v);
+      parse only rest
+    | [ ("--record" | "--check" | "--tol" | "--kmad" | "--quota" | "--json") as flag ] ->
+      Printf.eprintf "%s requires an argument\n" flag;
+      exit 2
     | "--obs" :: rest ->
       (* Spans/counters across the whole harness run; dumped to stderr at
          the end and merged into --json output under the "obs" key. *)
@@ -102,9 +142,6 @@ let () =
     | "--json" :: file :: rest ->
       json_file := Some file;
       parse only rest
-    | [ "--json" ] ->
-      Printf.eprintf "--json requires a file argument\n";
-      exit 2
     | "--list" :: rest ->
       List.iter (fun (id, desc, _) -> Printf.printf "%-10s %s\n" id desc) experiments;
       parse (Some []) rest
@@ -120,7 +157,37 @@ let () =
     | Some [] -> []
     | Some ids -> List.filter (fun (id, _, _) -> List.mem id ids) experiments
   in
-  let kernel_medians = if !bechamel then Bechamel_suite.benchmark () else [] in
+  (* Baseline statistics want >= 5 samples even from second-long kernels, so
+     record/check default to a larger Bechamel quota than interactive runs.
+     Bechamel ramps the run count linearly (sample i costs i runs), so N
+     samples of a t-second kernel need ~ N*(N+1)/2 * t seconds of quota:
+     30s buys the ~1.3s/run ref_decompose kernel 6 samples, while fast
+     kernels stop at the 200-sample limit long before the quota. *)
+  let quota_s =
+    match !quota with
+    | Some q -> q
+    | None -> if !record_file <> None || !check_file <> None then 30.0 else 1.0
+  in
+  let kernel_runs = if !bechamel then Bechamel_suite.benchmark ~quota_s () else [] in
+  let fresh_baseline () =
+    {
+      Perf_baseline.entries =
+        List.map
+          (fun (kr : Bechamel_suite.kernel_run) ->
+            Perf_baseline.of_samples ~name:kr.Bechamel_suite.kr_name
+              ~ns:kr.Bechamel_suite.kr_ns ~alloc_w:kr.Bechamel_suite.kr_alloc_w)
+          kernel_runs;
+    }
+  in
+  (match !record_file with
+  | None -> ()
+  | Some file -> (
+    try
+      Perf_baseline.write file (fresh_baseline ());
+      Printf.printf "wrote baseline %s (%d kernels)\n" file (List.length kernel_runs)
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 1));
   let t0 = Unix.gettimeofday () in
   let timings =
     List.map
@@ -133,5 +200,41 @@ let () =
     Printf.printf "total harness time: %.1fs\n" (Unix.gettimeofday () -. t0);
   (match !json_file with
   | None -> ()
-  | Some file -> write_json file ~experiments:timings ~kernels:kernel_medians);
-  if Obs.enabled () then Obs.report stderr
+  | Some file ->
+    let kernels =
+      List.map
+        (fun (kr : Bechamel_suite.kernel_run) ->
+          (kr.Bechamel_suite.kr_name, kr.Bechamel_suite.kr_ns_est))
+        kernel_runs
+    in
+    write_json file ~experiments:timings ~kernels);
+  if Obs.enabled () then Obs.report stderr;
+  match !check_file with
+  | None -> ()
+  | Some file -> (
+    match Perf_baseline.read file with
+    | Error msg ->
+      Printf.eprintf "cannot read baseline %s: %s\n" file msg;
+      exit 1
+    | Ok baseline ->
+      let deltas =
+        Perf_baseline.compare ~rel_tol:!check_tol ~mad_k:!check_kmad ~baseline
+          ~fresh:(fresh_baseline ()) ()
+      in
+      Perf_baseline.print_table stdout deltas;
+      let regs = Perf_baseline.regressions deltas in
+      if regs <> [] then begin
+        Printf.eprintf "perf gate: %d kernel(s) regressed beyond tolerance (tol %.0f%%, kmad %.1f):\n"
+          (List.length regs) (100. *. !check_tol) !check_kmad;
+        List.iter
+          (fun (d : Perf_baseline.delta) ->
+            Printf.eprintf "  %-40s %.0fns -> %.0fns (+%.1f%%)\n" d.Perf_baseline.d_name
+              d.Perf_baseline.d_base_ns d.Perf_baseline.d_fresh_ns
+              (100.
+              *. (d.Perf_baseline.d_fresh_ns -. d.Perf_baseline.d_base_ns)
+              /. Float.max 1. d.Perf_baseline.d_base_ns))
+          regs;
+        exit 1
+      end
+      else Printf.printf "perf gate: %d kernels within tolerance of %s\n"
+             (List.length deltas) file)

@@ -4,9 +4,22 @@
      maxtruss gen syracuse56 -o syracuse.edges
      maxtruss stats -i graph.edges
      maxtruss decompose -i graph.edges
-     maxtruss maximize -i graph.edges -k 8 -b 50 --algo pcfr *)
+     maxtruss maximize -i graph.edges -k 8 -b 50 --algo pcfr
+     maxtruss obsdiff before.json after.json *)
 
 open Cmdliner
+
+(* Run [f], reporting success as "<what> written to <path>"; a Sys_error
+   (unwritable directory, permission, ...) becomes a one-line stderr
+   message and [false] instead of an escaped backtrace. *)
+let guarded_write ~what ~path f =
+  match f () with
+  | () ->
+    Printf.printf "%s written to %s\n" what path;
+    true
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    false
 
 let load_graph input dataset =
   match (input, dataset) with
@@ -197,14 +210,16 @@ let maximize_cmd =
           k outcome.Maxtruss.Outcome.score outcome.Maxtruss.Outcome.time_s
           (if outcome.Maxtruss.Outcome.timed_out then " (timed out)" else "");
         print_levels levels;
+        let ok = ref true in
+        let write path ~what f = if not (guarded_write ~what ~path f) then ok := false in
         (match plan_out with
         | Some path ->
-          let oc = open_out path in
-          List.iter
-            (fun (u, v) -> Printf.fprintf oc "%d\t%d\n" u v)
-            outcome.Maxtruss.Outcome.inserted;
-          close_out oc;
-          Printf.printf "plan written to %s\n" path
+          write path ~what:"plan" (fun () ->
+              let oc = open_out path in
+              List.iter
+                (fun (u, v) -> Printf.fprintf oc "%d\t%d\n" u v)
+                outcome.Maxtruss.Outcome.inserted;
+              close_out oc)
         | None ->
           List.iter
             (fun (u, v) -> Printf.printf "  insert (%d, %d)\n" u v)
@@ -214,16 +229,12 @@ let maximize_cmd =
               (List.length outcome.Maxtruss.Outcome.inserted - 20));
         if stats then Obs.report stderr;
         (match metrics with
-        | Some path ->
-          Obs.write_metrics path;
-          Printf.printf "metrics written to %s\n" path
+        | Some path -> write path ~what:"metrics" (fun () -> Obs.write_metrics path)
         | None -> ());
         (match trace with
-        | Some path ->
-          Obs.write_chrome_trace path;
-          Printf.printf "trace written to %s\n" path
+        | Some path -> write path ~what:"trace" (fun () -> Obs.write_chrome_trace path)
         | None -> ());
-        0
+        if !ok then 0 else 1
       end
   in
   Cmd.v
@@ -232,9 +243,152 @@ let maximize_cmd =
       const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ algo_arg $ plan_out
       $ stats_flag $ metrics_out $ trace_out)
 
+(* obsdiff: aligned span-tree diff between two metrics JSON exports *)
+
+type span_row = {
+  r_path : string;
+  r_self_s : float;
+  r_self_alloc_w : float;
+  r_alloc_w : float;
+  r_counters : (string * float) list;
+}
+
+(* Accepts a --metrics export (v1 or v2; v1 rows default the alloc fields
+   to 0) or a bench --json report carrying the same object under "obs". *)
+let load_metrics path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents -> (
+    match Json_min.parse contents with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> (
+      let j =
+        match Json_min.member "obs" j with
+        | Some o when Json_min.member "spans" o <> None -> o
+        | _ -> j
+      in
+      match Json_min.(member "schema" j |> Option.map to_str) with
+      | Some (Some "maxtruss-obs-metrics") -> (
+        match Json_min.(member "spans" j |> Option.map to_arr) with
+        | Some (Some spans) ->
+          Ok
+            (List.filter_map
+               (fun sp ->
+                 match Json_min.(member "path" sp |> Option.map to_str) with
+                 | Some (Some p) ->
+                   let counters =
+                     match Json_min.(member "counters" sp |> Option.map to_obj) with
+                     | Some (Some fields) ->
+                       List.filter_map
+                         (fun (k, v) ->
+                           Option.map (fun n -> (k, n)) (Json_min.to_num v))
+                         fields
+                     | _ -> []
+                   in
+                   Some
+                     {
+                       r_path = p;
+                       r_self_s = Json_min.(num_or 0. (member "self_s" sp));
+                       r_self_alloc_w = Json_min.(num_or 0. (member "self_alloc_w" sp));
+                       r_alloc_w = Json_min.(num_or 0. (member "alloc_w" sp));
+                       r_counters = counters;
+                     }
+                 | _ -> None)
+               spans)
+        | _ -> Error (path ^ ": no \"spans\" array"))
+      | _ -> Error (path ^ ": not a maxtruss-obs-metrics file")))
+
+let fmt_dw w =
+  let a = Float.abs w in
+  if a < 0.5 then "0w"
+  else if a >= 1e9 then Printf.sprintf "%+.1fGw" (w /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%+.1fMw" (w /. 1e6)
+  else if a >= 1e3 then Printf.sprintf "%+.1fkw" (w /. 1e3)
+  else Printf.sprintf "%+.0fw" w
+
+let obsdiff_cmd =
+  let file_a =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A.json" ~doc:"Baseline metrics export.")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B.json" ~doc:"Fresh metrics export.")
+  in
+  let run file_a file_b =
+    match (load_metrics file_a, load_metrics file_b) with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "%s\n" e;
+      1
+    | Ok rows_a, Ok rows_b ->
+      let tbl_b = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace tbl_b r.r_path r) rows_b;
+      let in_a = Hashtbl.create 64 in
+      List.iter (fun r -> Hashtbl.replace in_a r.r_path ()) rows_a;
+      let aligned =
+        List.map (fun a -> (Some a, Hashtbl.find_opt tbl_b a.r_path)) rows_a
+        @ List.filter_map
+            (fun b -> if Hashtbl.mem in_a b.r_path then None else Some (None, Some b))
+            rows_b
+      in
+      Printf.printf "[obsdiff] %s -> %s\n" file_a file_b;
+      Printf.printf "   %-44s %10s %10s %10s %10s  %s\n" "span" "self A" "self B"
+        "d-self" "d-alloc" "d-counters";
+      List.iter
+        (fun (a, b) ->
+          let path = match (a, b) with Some r, _ | None, Some r -> r.r_path | _ -> "" in
+          let depth = ref 0 in
+          String.iter (fun c -> if c = '/' then incr depth) path;
+          let leaf =
+            match String.rindex_opt path '/' with
+            | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+            | None -> path
+          in
+          let mark = match (a, b) with None, _ -> '+' | _, None -> '-' | _ -> ' ' in
+          let self r = match r with Some r -> r.r_self_s | None -> 0. in
+          let alloc r =
+            match r with
+            | Some r -> if r.r_self_alloc_w <> 0. then r.r_self_alloc_w else r.r_alloc_w
+            | None -> 0.
+          in
+          let ctr_delta =
+            let keys =
+              List.map fst (match a with Some r -> r.r_counters | None -> [])
+              @ List.filter_map
+                  (fun (k, _) ->
+                    match a with
+                    | Some r when List.mem_assoc k r.r_counters -> None
+                    | _ -> Some k)
+                  (match b with Some r -> r.r_counters | None -> [])
+            in
+            List.filter_map
+              (fun k ->
+                let get r = match r with Some r -> (match List.assoc_opt k r.r_counters with Some v -> v | None -> 0.) | None -> 0. in
+                let d = get b -. get a in
+                if Float.abs d < 0.5 then None else Some (Printf.sprintf "%s %+.0f" k d))
+              keys
+          in
+          Printf.printf " %c %s%-*s %9.4fs %9.4fs %+9.4fs %10s  %s\n" mark
+            (String.make (2 * !depth) ' ')
+            (max 1 (44 - (2 * !depth)))
+            leaf (self a) (self b)
+            (self b -. self a)
+            (fmt_dw (alloc b -. alloc a))
+            (if ctr_delta = [] then "" else "{" ^ String.concat ", " ctr_delta ^ "}"))
+        aligned;
+      0
+  in
+  Cmd.v
+    (Cmd.info "obsdiff"
+       ~doc:
+         "Aligned span-tree diff of two observability metrics exports (delta \
+          self-time, delta allocation, delta counters)")
+    Term.(const run $ file_a $ file_b)
+
 let () =
   let info =
     Cmd.info "maxtruss" ~version:"1.0.0"
       ~doc:"Adaptive truss maximization via minimum cuts (ICDE 2024 reproduction)"
   in
-  exit (Cmd.eval' (Cmd.group info [ datasets_cmd; gen_cmd; stats_cmd; decompose_cmd; maximize_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ datasets_cmd; gen_cmd; stats_cmd; decompose_cmd; maximize_cmd; obsdiff_cmd ]))

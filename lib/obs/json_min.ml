@@ -1,0 +1,241 @@
+(* Minimal JSON: a recursive-descent parser over a string, plus the escape
+   function the exporters share.  No dependency beyond the stdlib; kept
+   deliberately small rather than general (see the .mli for scope). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Error_at of int * string
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* UTF-8-encode one code point (no validation beyond the 21-bit range). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+  end
+
+let parse s =
+  let n = String.length s in
+  let i = ref 0 in
+  let fail msg = raise (Error_at (!i, msg)) in
+  let peek () = if !i < n then s.[!i] else '\000' in
+  let skip_ws () =
+    while
+      !i < n && match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr i
+    done
+  in
+  let expect c =
+    if peek () = c then incr i else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal w v =
+    String.iter (fun c -> if peek () = c then incr i else fail ("in literal " ^ w)) w;
+    v
+  in
+  let hex4 () =
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match peek () with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "hex digit"
+      in
+      incr i;
+      v := (!v * 16) + d
+    done;
+    !v
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let fin = ref false in
+    while not !fin do
+      if !i >= n then fail "unterminated string"
+      else
+        match s.[!i] with
+        | '"' ->
+          incr i;
+          fin := true
+        | '\\' ->
+          incr i;
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'; incr i
+          | '\\' -> Buffer.add_char buf '\\'; incr i
+          | '/' -> Buffer.add_char buf '/'; incr i
+          | 'b' -> Buffer.add_char buf '\b'; incr i
+          | 'f' -> Buffer.add_char buf '\012'; incr i
+          | 'n' -> Buffer.add_char buf '\n'; incr i
+          | 'r' -> Buffer.add_char buf '\r'; incr i
+          | 't' -> Buffer.add_char buf '\t'; incr i
+          | 'u' ->
+            incr i;
+            let cp = hex4 () in
+            (* Combine a surrogate pair when one follows; otherwise emit
+               the lone value as-is. *)
+            if cp >= 0xd800 && cp <= 0xdbff && !i + 1 < n && s.[!i] = '\\'
+               && s.[!i + 1] = 'u'
+            then begin
+              i := !i + 2;
+              let lo = hex4 () in
+              if lo >= 0xdc00 && lo <= 0xdfff then
+                add_utf8 buf (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
+              else begin
+                add_utf8 buf cp;
+                add_utf8 buf lo
+              end
+            end
+            else add_utf8 buf cp
+          | _ -> fail "bad escape")
+        | c when Char.code c < 0x20 -> fail "raw control char in string"
+        | c ->
+          Buffer.add_char buf c;
+          incr i
+    done;
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !i in
+    if peek () = '-' then incr i;
+    let digits () =
+      let d = ref 0 in
+      while (match peek () with '0' .. '9' -> true | _ -> false) do
+        incr i;
+        incr d
+      done;
+      if !d = 0 then fail "number"
+    in
+    digits ();
+    if peek () = '.' then begin
+      incr i;
+      digits ()
+    end;
+    if peek () = 'e' || peek () = 'E' then begin
+      incr i;
+      if peek () = '+' || peek () = '-' then incr i;
+      digits ()
+    end;
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some f -> f
+    | None -> fail "number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      incr i;
+      skip_ws ();
+      if peek () = '}' then begin
+        incr i;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let fin = ref false in
+        while not !fin do
+          skip_ws ();
+          let k = string_lit () in
+          skip_ws ();
+          expect ':';
+          let v = value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | ',' -> incr i
+          | '}' ->
+            incr i;
+            fin := true
+          | _ -> fail "object"
+        done;
+        Obj (List.rev !fields)
+      end
+    | '[' ->
+      incr i;
+      skip_ws ();
+      if peek () = ']' then begin
+        incr i;
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let fin = ref false in
+        while not !fin do
+          items := value () :: !items;
+          skip_ws ();
+          match peek () with
+          | ',' -> incr i
+          | ']' ->
+            incr i;
+            fin := true
+          | _ -> fail "array"
+        done;
+        Arr (List.rev !items)
+      end
+    | '"' -> Str (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> Num (number ())
+    | _ -> fail "value"
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !i <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Error_at (off, msg) ->
+    Error (Printf.sprintf "%s at offset %d" msg off)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+
+let to_int = function Num f -> Some (int_of_float f) | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+
+let to_arr = function Arr l -> Some l | _ -> None
+
+let to_obj = function Obj l -> Some l | _ -> None
+
+let num_or default v =
+  match v with Some (Num f) -> f | _ -> default

@@ -25,21 +25,71 @@ type node = {
   s_args : (string * string) list;
   s_t0 : float;
   mutable s_dur : float;  (* negative while the span is open *)
+  (* Gc.quick_stat snapshot at enter ... *)
+  s_minor0 : float;
+  s_major0 : float;
+  s_promoted0 : float;
+  s_mincol0 : int;
+  s_majcol0 : int;
+  (* ... and the deltas filled in at exit (valid once s_dur >= 0). *)
+  mutable s_d_minor : float;
+  mutable s_d_major : float;
+  mutable s_d_promoted : float;
+  mutable s_d_mincol : int;
+  mutable s_d_majcol : int;
   mutable s_children : node list;  (* reverse chronological *)
   mutable s_counters : (counter * int ref) list;  (* own deltas *)
   s_gen : int;
 }
 
-let make_root () =
+(* Word counters via [Gc.minor_words]/[Gc.counters], not [Gc.quick_stat]:
+   on OCaml 5.1 quick_stat's word counters are only flushed at collection
+   boundaries, so between GCs their deltas read as zero.  minor_words reads
+   the young pointer directly and counters tracks major-heap words as they
+   are allocated; collection counts change exactly at collections, so
+   quick_stat is accurate for those. *)
+type gc_snap = {
+  gs_minor : float;
+  gs_promoted : float;
+  gs_major : float;
+  gs_mincol : int;
+  gs_majcol : int;
+}
+
+let gc_snap () =
+  let _, promoted, major = Gc.counters () in
+  let q = Gc.quick_stat () in
   {
-    s_name = "";
-    s_args = [];
+    gs_minor = Gc.minor_words ();
+    gs_promoted = promoted;
+    gs_major = major;
+    gs_mincol = q.Gc.minor_collections;
+    gs_majcol = q.Gc.major_collections;
+  }
+
+let make_node ~name ~args =
+  let q = gc_snap () in
+  {
+    s_name = name;
+    s_args = args;
     s_t0 = now ();
     s_dur = -1.;
+    s_minor0 = q.gs_minor;
+    s_major0 = q.gs_major;
+    s_promoted0 = q.gs_promoted;
+    s_mincol0 = q.gs_mincol;
+    s_majcol0 = q.gs_majcol;
+    s_d_minor = 0.;
+    s_d_major = 0.;
+    s_d_promoted = 0.;
+    s_d_mincol = 0;
+    s_d_majcol = 0;
     s_children = [];
     s_counters = [];
     s_gen = !generation;
   }
+
+let make_root () = make_node ~name:"" ~args:[]
 
 let root_node = ref (make_root ())
 
@@ -54,21 +104,6 @@ let gauges_reg : gauge list ref = ref []
 
 let enabled () = !enabled_flag
 
-let reset () =
-  incr generation;
-  counters_reg := [];
-  gauges_reg := [];
-  let r = make_root () in
-  root_node := r;
-  stack := [ r ];
-  epoch := now ()
-
-let set_enabled b =
-  enabled_flag := b;
-  (* Fresh registry + no open spans: restart the epoch so trace timestamps
-     start at the moment collection was switched on. *)
-  if b && (!root_node).s_children = [] && List.length !stack = 1 then epoch := now ()
-
 module Span = struct
   type t = node option
 
@@ -77,17 +112,7 @@ module Span = struct
   let enter ?(args = []) name =
     if not !enabled_flag then None
     else begin
-      let n =
-        {
-          s_name = name;
-          s_args = args;
-          s_t0 = now ();
-          s_dur = -1.;
-          s_children = [];
-          s_counters = [];
-          s_gen = !generation;
-        }
-      in
+      let n = make_node ~name ~args in
       (match !stack with
       | top :: _ -> top.s_children <- n :: top.s_children
       | [] -> stack := [ !root_node ]);
@@ -101,12 +126,23 @@ module Span = struct
     | Some n ->
       if n.s_gen = !generation && List.memq n !stack then begin
         let t = now () in
+        let q = gc_snap () in
+        let close top =
+          if top.s_dur < 0. then begin
+            top.s_dur <- t -. top.s_t0;
+            top.s_d_minor <- q.gs_minor -. top.s_minor0;
+            top.s_d_major <- q.gs_major -. top.s_major0;
+            top.s_d_promoted <- q.gs_promoted -. top.s_promoted0;
+            top.s_d_mincol <- q.gs_mincol - top.s_mincol0;
+            top.s_d_majcol <- q.gs_majcol - top.s_majcol0
+          end
+        in
         (* Close forgotten open descendants along the way. *)
         let continue = ref true in
         while !continue do
           match !stack with
           | top :: rest ->
-            if top.s_dur < 0. then top.s_dur <- t -. top.s_t0;
+            close top;
             stack := rest;
             if top == n then continue := false
           | [] -> continue := false
@@ -122,8 +158,11 @@ module Span = struct
         exit sp;
         x
       | exception e ->
+        (* Keep the original raise site: [raise e] would restart the
+           backtrace here, in the instrumentation layer. *)
+        let bt = Printexc.get_raw_backtrace () in
         exit sp;
-        raise e
+        Printexc.raise_with_backtrace e bt
     end
 end
 
@@ -177,6 +216,46 @@ module Gauge = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Peak major-heap tracking                                           *)
+
+(* High-water mark of [Gc.quick_stat].heap_words, maintained by a GC alarm
+   that fires at the end of every major collection while the layer is
+   enabled (plus one seed sample when collection starts, so the gauge is
+   never absent from an enabled export). *)
+let peak_heap_gauge = Gauge.make "gc.peak_major_heap_words"
+
+let gc_alarm : Gc.alarm option ref = ref None
+
+let sample_peak_heap () =
+  if !enabled_flag then begin
+    let hw = float_of_int (Gc.quick_stat ()).Gc.heap_words in
+    if Gauge.value peak_heap_gauge < hw then Gauge.set peak_heap_gauge hw
+  end
+
+let reset () =
+  incr generation;
+  counters_reg := [];
+  gauges_reg := [];
+  let r = make_root () in
+  root_node := r;
+  stack := [ r ];
+  epoch := now ();
+  sample_peak_heap ()
+
+let set_enabled b =
+  enabled_flag := b;
+  (match (b, !gc_alarm) with
+  | true, None -> gc_alarm := Some (Gc.create_alarm sample_peak_heap)
+  | false, Some a ->
+    Gc.delete_alarm a;
+    gc_alarm := None
+  | _ -> ());
+  sample_peak_heap ();
+  (* Fresh registry + no open spans: restart the epoch so trace timestamps
+     start at the moment collection was switched on. *)
+  if b && (!root_node).s_children = [] && List.length !stack = 1 then epoch := now ()
+
+(* ------------------------------------------------------------------ *)
 (* Introspection                                                      *)
 
 type span_stat = {
@@ -184,6 +263,11 @@ type span_stat = {
   count : int;
   total_s : float;
   self_s : float;
+  alloc_w : float;
+  self_alloc_w : float;
+  promoted_w : float;
+  minor_gcs : int;
+  major_gcs : int;
   counters : (string * int) list;
 }
 
@@ -196,6 +280,28 @@ let rendered_name n =
     ^ ")"
 
 let node_dur ~t n = if n.s_dur >= 0. then n.s_dur else t -. n.s_t0
+
+(* (allocated words, promoted words, minor gcs, major gcs) over the span's
+   lifetime; allocated = minor + major - promoted, which matches
+   [Gc.allocated_bytes] up to the word size.  Open spans are measured up to
+   the [q] snapshot. *)
+let node_gc ~q n =
+  if n.s_dur >= 0. then
+    ( n.s_d_minor +. n.s_d_major -. n.s_d_promoted,
+      n.s_d_promoted,
+      n.s_d_mincol,
+      n.s_d_majcol )
+  else
+    ( q.gs_minor -. n.s_minor0
+      +. (q.gs_major -. n.s_major0)
+      -. (q.gs_promoted -. n.s_promoted0),
+      q.gs_promoted -. n.s_promoted0,
+      q.gs_mincol - n.s_mincol0,
+      q.gs_majcol - n.s_majcol0 )
+
+let node_alloc ~q n =
+  let a, _, _, _ = node_gc ~q n in
+  a
 
 (* Group a chronological sibling list by rendered name, preserving
    first-appearance order; each group keeps its nodes chronological. *)
@@ -215,14 +321,23 @@ let group_siblings nodes =
 
 let span_stats () =
   let t = now () in
+  let q = gc_snap () in
   let acc = ref [] in
   let rec walk prefix nodes =
     List.iter
       (fun (key, ns) ->
         let path = if prefix = "" then key else prefix ^ "/" ^ key in
         let total = List.fold_left (fun s n -> s +. node_dur ~t n) 0. ns in
+        let alloc, promoted, min_gcs, maj_gcs =
+          List.fold_left
+            (fun (a, p, mn, mj) n ->
+              let na, np, nmn, nmj = node_gc ~q n in
+              (a +. na, p +. np, mn + nmn, mj + nmj))
+            (0., 0., 0, 0) ns
+        in
         let children = List.concat_map (fun n -> List.rev n.s_children) ns in
         let child_total = List.fold_left (fun s n -> s +. node_dur ~t n) 0. children in
+        let child_alloc = List.fold_left (fun s n -> s +. node_alloc ~q n) 0. children in
         let ctr_order = ref [] in
         let ctr_tbl = Hashtbl.create 8 in
         List.iter
@@ -245,6 +360,11 @@ let span_stats () =
             count = List.length ns;
             total_s = total;
             self_s = total -. child_total;
+            alloc_w = alloc;
+            self_alloc_w = alloc -. child_alloc;
+            promoted_w = promoted;
+            minor_gcs = min_gcs;
+            major_gcs = maj_gcs;
             counters = ctrs;
           }
           :: !acc;
@@ -262,10 +382,19 @@ let gauges () = List.rev_map (fun g -> (g.g_name, g.g_value)) !gauges_reg
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 
+(* Compact word-count rendering for the report's allocation columns. *)
+let fmt_words w =
+  let a = Float.abs w in
+  if a >= 1e9 then Printf.sprintf "%.1fGw" (w /. 1e9)
+  else if a >= 1e6 then Printf.sprintf "%.1fMw" (w /. 1e6)
+  else if a >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
 let report oc =
   let stats = span_stats () in
   if stats <> [] then begin
-    Printf.fprintf oc "[obs] span tree (count, inclusive, exclusive):\n";
+    Printf.fprintf oc
+      "[obs] span tree (count, inclusive, exclusive, alloc, self-alloc, gcs):\n";
     List.iter
       (fun s ->
         let depth = ref 0 in
@@ -275,9 +404,11 @@ let report oc =
           | Some i -> String.sub s.path (i + 1) (String.length s.path - i - 1)
           | None -> s.path
         in
-        Printf.fprintf oc "  %s%-*s %6dx %10.4fs %10.4fs" (String.make (2 * !depth) ' ')
+        Printf.fprintf oc "  %s%-*s %6dx %10.4fs %10.4fs %9s %9s %4d/%d"
+          (String.make (2 * !depth) ' ')
           (max 1 (40 - (2 * !depth)))
-          leaf s.count s.total_s s.self_s;
+          leaf s.count s.total_s s.self_s (fmt_words s.alloc_w)
+          (fmt_words s.self_alloc_w) s.minor_gcs s.major_gcs;
         if s.counters <> [] then begin
           Printf.fprintf oc "  {%s}"
             (String.concat ", "
@@ -298,32 +429,21 @@ let report oc =
   end;
   flush oc
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Json_min.escape
 
 let json_float f =
   (* %.6f keeps the output plain (no exponents) and precise to the µs. *)
   if Float.is_finite f then Printf.sprintf "%.6f" f else "0"
+
+(* Word counts are integral in practice; keep them exponent-free too. *)
+let json_words f = if Float.is_finite f then Printf.sprintf "%.0f" f else "0"
 
 let metrics_json () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"schema\": \"maxtruss-obs-metrics\",\n";
-  add "  \"version\": 1,\n";
+  add "  \"version\": 2,\n";
   add "  \"enabled\": %b,\n" !enabled_flag;
   let stats = span_stats () in
   add "  \"spans\": [";
@@ -332,6 +452,9 @@ let metrics_json () =
       add "%s\n    { \"path\": \"%s\", \"count\": %d, \"total_s\": %s, \"self_s\": %s"
         (if i = 0 then "" else ",")
         (json_escape s.path) s.count (json_float s.total_s) (json_float s.self_s);
+      add ", \"alloc_w\": %s, \"self_alloc_w\": %s, \"promoted_w\": %s"
+        (json_words s.alloc_w) (json_words s.self_alloc_w) (json_words s.promoted_w);
+      add ", \"minor_gcs\": %d, \"major_gcs\": %d" s.minor_gcs s.major_gcs;
       if s.counters <> [] then begin
         add ", \"counters\": { ";
         List.iteri

@@ -1,15 +1,23 @@
 (** Zero-dependency observability for the PCFR pipeline: hierarchical
-    wall-clock spans, named counters and gauges in a global registry, and
-    three exporters (indented span tree, schema-versioned metrics JSON,
-    Chrome trace-event JSON loadable in Perfetto / [chrome://tracing]).
+    wall-clock spans with per-span GC/allocation attribution, named
+    counters and gauges in a global registry, and three exporters (indented
+    span tree, schema-versioned metrics JSON, Chrome trace-event JSON
+    loadable in Perfetto / [chrome://tracing]).
+
+    Memory attribution: every span records [Gc.quick_stat] deltas over its
+    lifetime (minor/major/promoted words, minor+major collections), rolled
+    up inclusively and exclusively exactly like wall time, and a GC alarm
+    maintains a peak-major-heap gauge ([gc.peak_major_heap_words]) while
+    collection is on.
 
     Overhead contract: everything is off by default.  While disabled,
     [Span.enter]/[Span.exit] with a static name, [Counter.add]/[incr] and
     [Gauge.set] cost a single mutable-bool branch and allocate nothing, so
     instrumentation may stay in kernel hot paths; the registry does not
     grow (counters and gauges only register themselves on first use while
-    enabled).  The only call-site allocations are optional [?args] lists,
-    which instrumented code confines to coarse (per-level) granularity.
+    enabled), and no GC alarm is installed.  The only call-site allocations
+    are optional [?args] lists, which instrumented code confines to coarse
+    (per-level) granularity.
 
     The layer is deliberately single-threaded, like the pipeline: spans
     form one tree per process between two [reset]s. *)
@@ -18,7 +26,9 @@ val enabled : unit -> bool
 
 val set_enabled : bool -> unit
 (** Turning collection on also (re)starts the trace epoch if the registry
-    is empty.  Disabling mid-run keeps collected data for export. *)
+    is empty, installs the peak-heap GC alarm and seeds its gauge.
+    Disabling mid-run keeps collected data for export and removes the
+    alarm. *)
 
 val reset : unit -> unit
 (** Drop all spans and unregister all counters/gauges (their totals restart
@@ -79,6 +89,13 @@ type span_stat = {
   count : int;
   total_s : float;  (** inclusive wall-clock seconds, summed over [count] *)
   self_s : float;  (** exclusive: [total_s] minus the children's [total_s] *)
+  alloc_w : float;
+      (** inclusive words allocated (minor + major - promoted, the
+          [Gc.allocated_bytes] definition), summed over [count] *)
+  self_alloc_w : float;  (** exclusive: [alloc_w] minus the children's *)
+  promoted_w : float;  (** words promoted minor→major inside the span *)
+  minor_gcs : int;  (** minor collections finishing inside the span *)
+  major_gcs : int;  (** major collection cycles finishing inside the span *)
   counters : (string * int) list;
       (** counter increments attributed to this span (innermost-open-span
           attribution), summed over the aggregated occurrences *)
@@ -96,11 +113,12 @@ val gauges : unit -> (string * float) list
 
 val report : out_channel -> unit
 (** Indented human-readable span tree: count, inclusive and exclusive
-    times, per-span counters, followed by global counters and gauges. *)
+    times, inclusive and exclusive allocation, minor/major GCs, per-span
+    counters, followed by global counters and gauges. *)
 
 val metrics_json : unit -> string
 (** Schema-versioned metrics object (see METRICS_SCHEMA.md):
-    [{"schema": "maxtruss-obs-metrics", "version": 1, ...}]. *)
+    [{"schema": "maxtruss-obs-metrics", "version": 2, ...}]. *)
 
 val write_metrics : string -> unit
 

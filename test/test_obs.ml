@@ -136,6 +136,11 @@ let find_stat stats path =
   | Some s -> s
   | None -> Alcotest.failf "span %S not in stats" path
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec at i = i + nl <= hl && (String.sub haystack i nl = needle || at (i + 1)) in
+  at 0
+
 (* --- tests --- *)
 
 let test_span_nesting () =
@@ -253,16 +258,13 @@ let test_metrics_contract () =
   ignore (Pcfr.pcfr ~g ~k:4 ~budget:2 ());
   let m = Obs.metrics_json () in
   List.iter
-    (fun needle ->
-      let found =
-        let nl = String.length needle and ml = String.length m in
-        let rec at i = i + nl <= ml && (String.sub m i nl = needle || at (i + 1)) in
-        at 0
-      in
-      Alcotest.(check bool) (needle ^ " present") true found)
+    (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains m needle))
     [
       "\"schema\": \"maxtruss-obs-metrics\"";
-      "\"version\": 1";
+      "\"version\": 2";
+      "\"alloc_w\"";
+      "\"self_alloc_w\"";
+      "gc.peak_major_heap_words";
       "pcfr.level(h=1)";
       "dinic.augmenting_paths";
       "dinic.bfs_phases";
@@ -270,6 +272,94 @@ let test_metrics_contract () =
       "pcfr.plans_kept";
       "csr.of_graph";
     ]
+
+let boom_line = __LINE__ + 3
+
+let[@inline never] boom () =
+  raise (Failure "obs-backtrace-test")
+
+let test_with_preserves_backtrace () =
+  (* Span.with_ must re-raise with the backtrace of the original raise
+     site, not restart it inside the instrumentation layer. *)
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  with_obs @@ fun () ->
+  match Obs.Span.with_ "bt" (fun () -> boom ()) with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure _ ->
+    let bt = Printexc.get_backtrace () in
+    Alcotest.(check bool)
+      ("raise site (test_obs.ml line " ^ string_of_int boom_line ^ ") survives")
+      true
+      (contains bt "test_obs.ml" && contains bt ("line " ^ string_of_int boom_line));
+    (* the span still closed despite the exception *)
+    Alcotest.(check int) "span closed" 1 (find_stat (Obs.span_stats ()) "bt").Obs.count
+
+let test_args_json_escaping () =
+  (* ?args values with quotes, backslashes and control characters must
+     come out escaped in both exporters (the in-test parser rejects raw
+     control bytes inside strings). *)
+  with_obs @@ fun () ->
+  let args =
+    [ ("quo\"te", "a\"b"); ("back\\slash", "c\\d"); ("ctl", "e\n\t\x01f") ]
+  in
+  Obs.Span.with_ ~args "weird" (fun () -> ());
+  let m = Obs.metrics_json () in
+  let t = Obs.chrome_trace_json () in
+  check_json m;
+  check_json t;
+  List.iter
+    (fun (out, name) ->
+      Alcotest.(check bool) (name ^ " escapes \\u0001") true (contains out "\\u0001");
+      Alcotest.(check bool) (name ^ " escapes quote") true (contains out "quo\\\"te");
+      Alcotest.(check bool)
+        (name ^ " escapes backslash") true
+        (contains out "back\\\\slash"))
+    [ (m, "metrics"); (t, "trace") ]
+
+let test_alloc_attribution () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ "outer" (fun () ->
+      ignore (Sys.opaque_identity (List.init 1000 (fun i -> i)));
+      Obs.Span.with_ "inner" (fun () ->
+          ignore (Sys.opaque_identity (Array.make 50_000 0.))));
+  let stats = Obs.span_stats () in
+  let o = find_stat stats "outer" in
+  let i = find_stat stats "outer/inner" in
+  (* the 50k-float array alone is > 50_000 words, wherever it lands *)
+  Alcotest.(check bool) "inner alloc covers the array" true (i.Obs.alloc_w >= 50_000.);
+  (* outer additionally allocated the 1000-cons list (3 words per cons) *)
+  Alcotest.(check bool)
+    "outer alloc covers inner + own list" true
+    (o.Obs.alloc_w >= i.Obs.alloc_w +. 2_000.);
+  Alcotest.(check bool)
+    "exclusive-alloc identity" true
+    (Float.abs (o.Obs.self_alloc_w -. (o.Obs.alloc_w -. i.Obs.alloc_w)) < 1.);
+  Alcotest.(check bool) "gc counts non-negative" true
+    (List.for_all
+       (fun (s : Obs.span_stat) -> s.Obs.minor_gcs >= 0 && s.Obs.major_gcs >= 0)
+       stats);
+  (* the peak-heap gauge is seeded as soon as collection is enabled *)
+  (match List.assoc_opt "gc.peak_major_heap_words" (Obs.gauges ()) with
+  | Some v -> Alcotest.(check bool) "peak heap positive" true (v > 0.)
+  | None -> Alcotest.fail "gc.peak_major_heap_words gauge missing");
+  let m = Obs.metrics_json () in
+  check_json m;
+  List.iter
+    (fun needle -> Alcotest.(check bool) (needle ^ " in metrics") true (contains m needle))
+    [ "\"version\": 2"; "\"alloc_w\""; "\"self_alloc_w\""; "\"promoted_w\"";
+      "\"minor_gcs\""; "\"major_gcs\""; "gc.peak_major_heap_words" ]
+
+let test_v2_fields_absent_when_disabled () =
+  Obs.reset ();
+  Obs.set_enabled false;
+  Obs.Span.with_ "x" (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0)));
+  let m = Obs.metrics_json () in
+  check_json m;
+  Alcotest.(check bool) "still schema v2" true (contains m "\"version\": 2");
+  Alcotest.(check bool) "no alloc fields" false (contains m "alloc_w");
+  Alcotest.(check bool) "no peak gauge" false (contains m "gc.peak_major_heap_words")
 
 let test_reset_invalidates_handles () =
   with_obs @@ fun () ->
@@ -295,5 +385,12 @@ let suite =
     Alcotest.test_case "disabled mode has no footprint" `Quick test_disabled_no_footprint;
     Alcotest.test_case "exported JSON parses" `Quick test_exported_json_parses;
     Alcotest.test_case "metrics contract fields" `Quick test_metrics_contract;
+    Alcotest.test_case "with_ preserves backtraces" `Quick test_with_preserves_backtrace;
+    Alcotest.test_case "?args JSON escaping (both exporters)" `Quick
+      test_args_json_escaping;
+    Alcotest.test_case "allocation attribution + peak gauge" `Quick
+      test_alloc_attribution;
+    Alcotest.test_case "v2 alloc fields absent when disabled" `Quick
+      test_v2_fields_absent_when_disabled;
     Alcotest.test_case "reset invalidates handles" `Quick test_reset_invalidates_handles;
   ]
