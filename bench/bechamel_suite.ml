@@ -176,6 +176,23 @@ let test_ref_onion =
              (Truss.Onion.peel ~impl:`Hashtbl ~h:(Graphcore.Graph.copy h) ~k:kd
                 ~candidates:comp ())))
 
+(* Domain-parallel variants of the two heaviest CSR kernels under a 2-worker
+   pool.  Kept last in the suite so the pool spin-up never perturbs the
+   sequential measurements; {!benchmark} restores the previous domain count
+   once the suite finishes.  [Par.set_domains] is a cheap no-op after the
+   first call, so it adds nothing measurable to the per-run cost. *)
+let test_csr_support_par2 =
+  Test.make ~name:(kname "csr_support_par2")
+    (Staged.stage (fun () ->
+         Par.set_domains 2;
+         ignore (Truss.Support.all_csr (Lazy.force kernel_csr))))
+
+let test_csr_decompose_par2 =
+  Test.make ~name:(kname "csr_decompose_par2")
+    (Staged.stage (fun () ->
+         Par.set_domains 2;
+         ignore (Truss.Decompose.run ~impl:`Csr (Lazy.force kernel_graph))))
+
 (* One kernel's multi-sample measurement: Bechamel's raw linear-regression
    samples, normalized per run, feed the median/MAD baseline statistics
    (Perf_baseline) while the OLS estimate keeps the familiar printed
@@ -217,12 +234,16 @@ let benchmark ?(quota_s = 1.0) () =
       test_ref_decompose;
       test_csr_onion;
       test_ref_onion;
+      test_csr_support_par2;
+      test_csr_decompose_par2;
     ]
   in
   let instances =
     Instance.[ monotonic_clock; minor_allocated; major_allocated; promoted ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota_s) ~kde:(Some 100) () in
+  let saved_domains = Par.domains () in
+  Fun.protect ~finally:(fun () -> Par.set_domains saved_domains) @@ fun () ->
   let acc = ref [] in
   List.iter
     (fun test ->

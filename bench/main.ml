@@ -10,14 +10,21 @@
      dune exec bench/main.exe -- --record BENCH_kernels.json   # write perf baseline
      dune exec bench/main.exe -- --check BENCH_kernels.json    # perf-regression gate
      dune exec bench/main.exe -- --check BENCH_kernels.json --tol 0.6 --kmad 10
+     dune exec bench/main.exe -- --check BENCH_kernels.json --update  # move the bar
+     dune exec bench/main.exe -- --check BENCH_kernels.json --alloc-tol 0.8
      dune exec bench/main.exe -- --record b.json --quota 4   # sampling budget/kernel
      dune exec bench/main.exe -- --obs --only table4 --json out.json
+     dune exec bench/main.exe -- --domains 2 --only scaling  # parallel kernel pool
      dune exec bench/main.exe -- --list
 
    --record re-runs the Bechamel kernel suite and writes the median/MAD/
    alloc baseline (schema: METRICS_SCHEMA.md § baseline); --check compares
    a fresh run against such a file and exits 1 when any kernel's fresh
-   median exceeds baseline + max(tol * baseline, kmad * MAD). *)
+   median exceeds baseline + max(tol * baseline, kmad * MAD) — a per-entry
+   "tol" in the baseline overrides the global --tol — or when its fresh
+   allocation exceeds baseline + max(alloc-tol * baseline, 4096w).
+   --check --update instead re-records exactly the regressed kernels
+   (keeping their tol overrides), appends new ones, and exits 0. *)
 
 let experiments =
   [
@@ -94,6 +101,8 @@ let () =
   let check_file = ref None in
   let check_tol = ref 0.25 in
   let check_kmad = ref 5.0 in
+  let check_alloc_tol = ref 0.5 in
+  let check_update = ref false in
   let quota = ref None in
   let float_arg flag v =
     match float_of_string_opt v with
@@ -128,10 +137,24 @@ let () =
     | "--kmad" :: v :: rest ->
       check_kmad := float_arg "--kmad" v;
       parse only rest
+    | "--alloc-tol" :: v :: rest ->
+      check_alloc_tol := float_arg "--alloc-tol" v;
+      parse only rest
+    | "--update" :: rest ->
+      check_update := true;
+      parse only rest
     | "--quota" :: v :: rest ->
       quota := Some (float_arg "--quota" v);
       parse only rest
-    | [ ("--record" | "--check" | "--tol" | "--kmad" | "--quota" | "--json") as flag ] ->
+    | "--domains" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 1 -> Par.set_domains n
+      | _ ->
+        Printf.eprintf "--domains expects a positive integer, got %S\n" v;
+        exit 2);
+      parse only rest
+    | [ ("--record" | "--check" | "--tol" | "--kmad" | "--alloc-tol" | "--quota"
+        | "--domains" | "--json") as flag ] ->
       Printf.eprintf "%s requires an argument\n" flag;
       exit 2
     | "--obs" :: rest ->
@@ -175,7 +198,7 @@ let () =
         List.map
           (fun (kr : Bechamel_suite.kernel_run) ->
             Perf_baseline.of_samples ~name:kr.Bechamel_suite.kr_name
-              ~ns:kr.Bechamel_suite.kr_ns ~alloc_w:kr.Bechamel_suite.kr_alloc_w)
+              ~ns:kr.Bechamel_suite.kr_ns ~alloc_w:kr.Bechamel_suite.kr_alloc_w ())
           kernel_runs;
     }
   in
@@ -217,22 +240,74 @@ let () =
       Printf.eprintf "cannot read baseline %s: %s\n" file msg;
       exit 1
     | Ok baseline ->
+      let fresh = fresh_baseline () in
       let deltas =
-        Perf_baseline.compare ~rel_tol:!check_tol ~mad_k:!check_kmad ~baseline
-          ~fresh:(fresh_baseline ()) ()
+        Perf_baseline.compare ~rel_tol:!check_tol ~mad_k:!check_kmad
+          ~alloc_tol:!check_alloc_tol ~baseline ~fresh ()
       in
       Perf_baseline.print_table stdout deltas;
       let regs = Perf_baseline.regressions deltas in
-      if regs <> [] then begin
-        Printf.eprintf "perf gate: %d kernel(s) regressed beyond tolerance (tol %.0f%%, kmad %.1f):\n"
-          (List.length regs) (100. *. !check_tol) !check_kmad;
+      let added =
+        List.filter (fun d -> d.Perf_baseline.d_verdict = Perf_baseline.Added) deltas
+      in
+      if !check_update then begin
+        (* Accept the fresh measurements for exactly the kernels that failed
+           a gate (keeping each baseline entry's tol override) and append
+           kernels new to the suite; everything still in tolerance keeps its
+           original statistics.  Always exits 0 — this is the "the change is
+           intentional, move the bar" path. *)
+        if regs = [] && added = [] then
+          Printf.printf "perf gate: %d kernels within tolerance of %s (nothing to update)\n"
+            (List.length deltas) file
+        else begin
+          let fresh_tbl = Hashtbl.create 16 in
+          List.iter
+            (fun (e : Perf_baseline.entry) -> Hashtbl.replace fresh_tbl e.Perf_baseline.name e)
+            fresh.Perf_baseline.entries;
+          let regressed = Hashtbl.create 16 in
+          List.iter
+            (fun (d : Perf_baseline.delta) ->
+              Hashtbl.replace regressed d.Perf_baseline.d_name ())
+            regs;
+          let entries =
+            List.map
+              (fun (be : Perf_baseline.entry) ->
+                match
+                  ( Hashtbl.mem regressed be.Perf_baseline.name,
+                    Hashtbl.find_opt fresh_tbl be.Perf_baseline.name )
+                with
+                | true, Some fe -> { fe with Perf_baseline.tol = be.Perf_baseline.tol }
+                | _ -> be)
+              baseline.Perf_baseline.entries
+            @ List.filter_map
+                (fun (d : Perf_baseline.delta) ->
+                  Hashtbl.find_opt fresh_tbl d.Perf_baseline.d_name)
+                added
+          in
+          (try Perf_baseline.write file { Perf_baseline.entries }
+           with Sys_error msg ->
+             Printf.eprintf "cannot write %s: %s\n" file msg;
+             exit 1);
+          Printf.printf "updated %s: re-recorded %d regressed kernel(s), appended %d new\n"
+            file (List.length regs) (List.length added)
+        end
+      end
+      else if regs <> [] then begin
+        Printf.eprintf
+          "perf gate: %d kernel(s) regressed beyond tolerance (tol %.0f%%, kmad %.1f, \
+           alloc-tol %.0f%%):\n"
+          (List.length regs) (100. *. !check_tol) !check_kmad (100. *. !check_alloc_tol);
         List.iter
           (fun (d : Perf_baseline.delta) ->
-            Printf.eprintf "  %-40s %.0fns -> %.0fns (+%.1f%%)\n" d.Perf_baseline.d_name
+            Printf.eprintf "  %-40s %.0fns -> %.0fns (+%.1f%%)%s\n" d.Perf_baseline.d_name
               d.Perf_baseline.d_base_ns d.Perf_baseline.d_fresh_ns
               (100.
               *. (d.Perf_baseline.d_fresh_ns -. d.Perf_baseline.d_base_ns)
-              /. Float.max 1. d.Perf_baseline.d_base_ns))
+              /. Float.max 1. d.Perf_baseline.d_base_ns)
+              (if d.Perf_baseline.d_alloc_regression then
+                 Printf.sprintf " [alloc %.0fw -> %.0fw]" d.Perf_baseline.d_base_alloc_w
+                   d.Perf_baseline.d_fresh_alloc_w
+               else ""))
           regs;
         exit 1
       end

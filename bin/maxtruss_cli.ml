@@ -54,6 +54,15 @@ let seed_arg =
   let doc = "Random seed for the randomized phases." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Worker domains for the parallel kernels (default: $(b,MAXTRUSS_DOMAINS) or 1). \
+     Results are identical at any domain count."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+
+let apply_domains n = if n > 0 then Par.set_domains n
+
 (* datasets *)
 
 let datasets_cmd =
@@ -116,12 +125,13 @@ let stats_cmd =
 (* decompose *)
 
 let decompose_cmd =
-  let run input dataset =
+  let run input dataset domains =
     match load_graph input dataset with
     | Error e ->
       Printf.eprintf "%s\n" e;
       1
     | Ok g ->
+      apply_domains domains;
       let dec = Truss.Decompose.run g in
       Printf.printf "kmax = %d\n" (Truss.Decompose.kmax dec);
       Printf.printf "%-6s %10s %12s %12s\n" "k" "|E_k|" "|T_k|" "components";
@@ -138,7 +148,7 @@ let decompose_cmd =
   Cmd.v
     (Cmd.info "decompose"
        ~doc:"Truss decomposition: class sizes, truss sizes and component counts per k")
-    Term.(const run $ input $ dataset_opt)
+    Term.(const run $ input $ dataset_opt $ domains_arg)
 
 (* maximize *)
 
@@ -174,12 +184,13 @@ let print_levels levels =
   end
 
 let maximize_cmd =
-  let run input dataset k budget seed algo plan_out stats metrics trace =
+  let run input dataset k budget seed domains algo plan_out stats metrics trace =
     match load_graph input dataset with
     | Error e ->
       Printf.eprintf "%s\n" e;
       1
     | Ok g ->
+      apply_domains domains;
       let k =
         if k > 0 then k
         else
@@ -240,8 +251,8 @@ let maximize_cmd =
   Cmd.v
     (Cmd.info "maximize" ~doc:"Run truss maximization and print/export the insertion plan")
     Term.(
-      const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ algo_arg $ plan_out
-      $ stats_flag $ metrics_out $ trace_out)
+      const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ domains_arg
+      $ algo_arg $ plan_out $ stats_flag $ metrics_out $ trace_out)
 
 (* obsdiff: aligned span-tree diff between two metrics JSON exports *)
 
@@ -298,6 +309,46 @@ let load_metrics path =
         | _ -> Error (path ^ ": no \"spans\" array"))
       | _ -> Error (path ^ ": not a maxtruss-obs-metrics file")))
 
+(* --fuzzy alignment: drop each segment's "(args)" suffix so runs whose span
+   arguments differ (budgets, h levels, ...) still line up; rows collapsing
+   to the same fuzzed path merge by summing times, allocations and
+   counters. *)
+let strip_args seg =
+  let n = String.length seg in
+  if n > 0 && seg.[n - 1] = ')' then
+    match String.index_opt seg '(' with Some i -> String.sub seg 0 i | None -> seg
+  else seg
+
+let fuzz_path path = String.concat "/" (List.map strip_args (String.split_on_char '/' path))
+
+let merge_counters a b =
+  List.map
+    (fun (k, v) -> match List.assoc_opt k b with Some w -> (k, v +. w) | None -> (k, v))
+    a
+  @ List.filter (fun (k, _) -> not (List.mem_assoc k a)) b
+
+let fuzz_rows rows =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun r ->
+      let p = fuzz_path r.r_path in
+      match Hashtbl.find_opt tbl p with
+      | None ->
+        Hashtbl.replace tbl p { r with r_path = p };
+        order := p :: !order
+      | Some acc ->
+        Hashtbl.replace tbl p
+          {
+            r_path = p;
+            r_self_s = acc.r_self_s +. r.r_self_s;
+            r_self_alloc_w = acc.r_self_alloc_w +. r.r_self_alloc_w;
+            r_alloc_w = acc.r_alloc_w +. r.r_alloc_w;
+            r_counters = merge_counters acc.r_counters r.r_counters;
+          })
+    rows;
+  List.rev_map (fun p -> Hashtbl.find tbl p) !order
+
 let fmt_dw w =
   let a = Float.abs w in
   if a < 0.5 then "0w"
@@ -313,12 +364,21 @@ let obsdiff_cmd =
   let file_b =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"B.json" ~doc:"Fresh metrics export.")
   in
-  let run file_a file_b =
+  let fuzzy_flag =
+    let doc =
+      "Strip per-segment \"(args)\" suffixes before aligning, merging rows that collapse \
+       to the same path — aligns runs whose span arguments (budget, level, ...) differ."
+    in
+    Arg.(value & flag & info [ "fuzzy" ] ~doc)
+  in
+  let run fuzzy file_a file_b =
     match (load_metrics file_a, load_metrics file_b) with
     | Error e, _ | _, Error e ->
       Printf.eprintf "%s\n" e;
       1
     | Ok rows_a, Ok rows_b ->
+      let rows_a = if fuzzy then fuzz_rows rows_a else rows_a in
+      let rows_b = if fuzzy then fuzz_rows rows_b else rows_b in
       let tbl_b = Hashtbl.create 64 in
       List.iter (fun r -> Hashtbl.replace tbl_b r.r_path r) rows_b;
       let in_a = Hashtbl.create 64 in
@@ -381,7 +441,7 @@ let obsdiff_cmd =
        ~doc:
          "Aligned span-tree diff of two observability metrics exports (delta \
           self-time, delta allocation, delta counters)")
-    Term.(const run $ file_a $ file_b)
+    Term.(const run $ fuzzy_flag $ file_a $ file_b)
 
 let () =
   let info =

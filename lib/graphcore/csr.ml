@@ -230,9 +230,11 @@ let count_common_neighbors t u v =
   iter_common_neighbors_eid t u v (fun _ _ _ -> incr c);
   !c
 
-let iter_triangles t f =
+let prepare_triangles t = ignore (Lazy.force t.orient)
+
+let iter_triangles_range t ~lo ~hi f =
   let o = Lazy.force t.orient in
-  for u = 0 to t.n - 1 do
+  for u = max lo 0 to min hi t.n - 1 do
     let uhi = o.fwd_ptr.(u + 1) in
     for j = o.fwd_ptr.(u) to uhi - 1 do
       let e_uv = o.fwd_eid.(j) in
@@ -253,6 +255,25 @@ let iter_triangles t f =
       done
     done
   done
+
+let iter_triangles t f = iter_triangles_range t ~lo:0 ~hi:t.n f
+
+(* Vertex boundaries whose oriented out-degree prefix sums are (nearly)
+   even: oriented edges approximate the intersection work per vertex far
+   better than vertex counts do on skewed degree distributions. *)
+let triangle_chunk_bounds t ~chunks =
+  let o = Lazy.force t.orient in
+  let c = max 1 chunks in
+  let total = o.fwd_ptr.(t.n) in
+  let bounds = Array.make (c + 1) t.n in
+  bounds.(0) <- 0;
+  for i = 1 to c - 1 do
+    bounds.(i) <- lower_bound o.fwd_ptr (total * i / c) 0 (t.n + 1)
+  done;
+  for i = 1 to c do
+    if bounds.(i) < bounds.(i - 1) then bounds.(i) <- bounds.(i - 1)
+  done;
+  bounds
 
 let triangle_count t =
   let c = ref 0 in

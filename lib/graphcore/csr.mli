@@ -81,3 +81,24 @@ val iter_triangles : t -> (int -> int -> int -> unit) -> unit
     [{u, v, w}], via the degree-ordered orientation. *)
 
 val triangle_count : t -> int
+
+(** {2 Chunked triangle enumeration (for the parallel kernels)} *)
+
+val prepare_triangles : t -> unit
+(** Force the lazy orientation now.  Lazy forcing is not safe to race from
+    several domains, so parallel consumers must call this on one domain
+    before handing the snapshot to concurrent {!iter_triangles_range}
+    calls (which then only read the already-forced value). *)
+
+val iter_triangles_range : t -> lo:int -> hi:int -> (int -> int -> int -> unit) -> unit
+(** {!iter_triangles} restricted to wedges pivoted at the smaller-ranked
+    endpoint's node ids in [\[lo, hi)]; the ranges of a partition of
+    [\[0, max_node_id + 1)] enumerate each triangle exactly once between
+    them.  Read-only on the snapshot — safe to run concurrently after
+    {!prepare_triangles}. *)
+
+val triangle_chunk_bounds : t -> chunks:int -> int array
+(** [chunks + 1] monotone vertex boundaries [b] with [b.(0) = 0] and
+    [b.(chunks) = max_node_id + 1], balanced by oriented out-degree prefix
+    sums so each [\[b.(i), b.(i+1))] range carries comparable triangle
+    work.  Forces the orientation. *)

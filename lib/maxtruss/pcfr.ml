@@ -55,7 +55,11 @@ let c_edges_committed = Obs.Counter.make "pcfr.edges_committed"
 
 type result = { outcome : Outcome.t; levels : level_stat list }
 
-let flow_pairs ~ctx ~lctx ~dec ~config ~budget ~component =
+(* Per-component flow-network scaffolding: onion peel, block DAG, min-cut
+   sweeps, dedup + cap.  Reads [ctx.g]/[ctx.old_truss]/[dec] without ever
+   writing them and builds only fresh per-call structures, so independent
+   components can run this concurrently. *)
+let flow_selections ~ctx ~dec ~config ~component =
   let g = ctx.Score.g and k = ctx.Score.k in
   let h_graph = Truss.Onion.build_h ~g ~backdrop:ctx.Score.old_truss ~candidates:component in
   (* The CSR peel works on an immutable snapshot, so [h_graph] survives for
@@ -95,6 +99,12 @@ let flow_pairs ~ctx ~lctx ~dec ~config ~budget ~component =
       List.init cap (fun i -> arr.(i * (n - 1) / (cap - 1)))
     end
   in
+  (dag, selections)
+
+(* Conversion + scoring of the sweep selections.  [Score.score] inserts and
+   then removes plan edges in [lctx.g], so this stays on the domain that
+   owns the local context (the main domain in {!run}). *)
+let convert_selections ~ctx ~lctx ~budget (dag, selections) =
   List.filter_map
     (fun sel ->
       let target = Block_dag.edges_of_blocks dag sel.Flow_plan.blocks in
@@ -113,6 +123,9 @@ let flow_pairs ~ctx ~lctx ~dec ~config ~budget ~component =
         end
       end)
     selections
+
+let flow_pairs ~ctx ~lctx ~dec ~config ~budget ~component =
+  convert_selections ~ctx ~lctx ~budget (flow_selections ~ctx ~dec ~config ~component)
 
 let component_revenue ~rng ~ctx ~dec ~config ~budget ~component =
   Obs.Span.with_ "pcfr.component" @@ fun () ->
@@ -184,15 +197,56 @@ let run config g =
         let level_config =
           if !h > 1 && config.use_flow then { config with use_random = false } else config
         in
-        let revenues =
-          List.map
+        (* Two phases instead of one component_revenue pass, so independent
+           components parallelize without touching the shared rng:
+           phase 1 (parallel, read-only on [gw]/[dec]) builds each
+           component's local scoring context and flow-network scaffolding
+           (onion peel, block DAG, min-cut sweeps); phase 2 (main domain,
+           component order) runs the rng-consuming random interpolation —
+           drawing from the stream in exactly the sequential order — then
+           conversion and scoring, which temporarily mutate per-component
+           subgraphs.  The concatenated plans match the single-pass output
+           verbatim. *)
+        let comps_arr = Array.of_list comps in
+        let scaffolds =
+          Par.parallel_map
             (fun component ->
-              if over_time () then []
+              if over_time () then None
               else
-                component_revenue ~rng ~ctx ~dec ~config:level_config ~budget:!remaining
-                  ~component)
-            comps
-          |> Array.of_list
+                Obs.Span.with_ "pcfr.component" @@ fun () ->
+                let lctx = Score.local_ctx ctx ~component in
+                let flow =
+                  if level_config.use_flow then
+                    Some (flow_selections ~ctx ~dec ~config:level_config ~component)
+                  else None
+                in
+                Some (lctx, flow))
+            comps_arr
+        in
+        let revenues =
+          Array.mapi
+            (fun i scaffold ->
+              match scaffold with
+              | None -> []
+              | Some (lctx, flow) ->
+                if over_time () then []
+                else begin
+                  let component = comps_arr.(i) in
+                  let random_pairs =
+                    if level_config.use_random then
+                      Random_interp.interpolate ~rng ~ctx:lctx ~component
+                        ~budget:!remaining ~repeats:level_config.repeats
+                        ~forbidden:ctx.Score.g ()
+                    else []
+                  in
+                  let flow_plans =
+                    match flow with
+                    | None -> []
+                    | Some sc -> convert_selections ~ctx ~lctx ~budget:!remaining sc
+                  in
+                  Plan.normalize (random_pairs @ flow_plans)
+                end)
+            scaffolds
         in
         let plan_count = Array.fold_left (fun acc r -> acc + List.length r) 0 revenues in
         Obs.Counter.add c_plans_generated plan_count;

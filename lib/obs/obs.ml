@@ -8,24 +8,37 @@
    generation stamp instead of living in the registry from [make]: they
    join it on first use while enabled, which keeps the registry empty (and
    allocation-free) in disabled runs, and lets [reset] invalidate every
-   outstanding handle in O(1) by bumping the generation. *)
+   outstanding handle in O(1) by bumping the generation.
+
+   Domain safety: counter totals, gauge values, the enabled flag and the
+   generation stamp are [Atomic]s; registration goes through a mutex.  The
+   span tree has exactly one owner — the domain that loaded this module
+   (the main domain) — and every other domain records spans into a private
+   stack selected by [cur_stack]: inside a [Domain_scope] the stack bottoms
+   out at the scope's buffer root, outside one it is empty and spans are
+   dropped.  A worker never touches the owner's tree; the owner splices the
+   buffered subtrees under its innermost open span at [Domain_scope.merge],
+   in the caller-chosen (task-index) order, which keeps exports
+   deterministic regardless of how many domains actually ran the tasks.
+   [reset]/[set_enabled]/the exporters remain owner-domain-only, and must
+   not run while scopes are in flight. *)
 
 let now () = Unix.gettimeofday ()
 
-let enabled_flag = ref false
+let enabled_flag = Atomic.make false
 
-let generation = ref 1
+let generation = Atomic.make 1
 
-type counter = { c_name : string; mutable c_total : int; mutable c_gen : int }
+type counter = { c_name : string; c_total : int Atomic.t; c_gen : int Atomic.t }
 
-type gauge = { g_name : string; mutable g_value : float; mutable g_gen : int }
+type gauge = { g_name : string; g_value : float Atomic.t; g_gen : int Atomic.t }
 
 type node = {
   s_name : string;
   s_args : (string * string) list;
   s_t0 : float;
   mutable s_dur : float;  (* negative while the span is open *)
-  (* Gc.quick_stat snapshot at enter ... *)
+  (* Gc snapshot at enter ... *)
   s_minor0 : float;
   s_major0 : float;
   s_promoted0 : float;
@@ -47,7 +60,9 @@ type node = {
    boundaries, so between GCs their deltas read as zero.  minor_words reads
    the young pointer directly and counters tracks major-heap words as they
    are allocated; collection counts change exactly at collections, so
-   quick_stat is accurate for those. *)
+   quick_stat is accurate for those.  All of these are per-domain counters
+   on OCaml 5, which is exactly the attribution a span recorded on that
+   domain wants. *)
 type gc_snap = {
   gs_minor : float;
   gs_promoted : float;
@@ -86,23 +101,48 @@ let make_node ~name ~args =
     s_d_majcol = 0;
     s_children = [];
     s_counters = [];
-    s_gen = !generation;
+    s_gen = Atomic.get generation;
   }
 
 let make_root () = make_node ~name:"" ~args:[]
 
 let root_node = ref (make_root ())
 
-(* Innermost open span first; the root pseudo-span is always at the bottom. *)
-let stack = ref [ !root_node ]
+(* The span tree's owner: the domain that initialized this module. *)
+let owner = Domain.self ()
+
+(* Innermost open span first; the root pseudo-span is always at the bottom
+   (on the owner domain; inside a [Domain_scope] the scope's buffer root
+   plays that role, and outside one a worker's stack is empty). *)
+let owner_stack = ref [ !root_node ]
+
+let worker_stack : node list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let cur_stack () =
+  if Domain.self () = owner then owner_stack else Domain.DLS.get worker_stack
 
 let epoch = ref (now ())
+
+let reg_mutex = Mutex.create ()
 
 let counters_reg : counter list ref = ref []
 
 let gauges_reg : gauge list ref = ref []
 
-let enabled () = !enabled_flag
+let enabled () = Atomic.get enabled_flag
+
+(* Close [n] if still open, stamping duration and GC deltas from the
+   snapshot taken by the caller. *)
+let close_node ~t ~q n =
+  if n.s_dur < 0. then begin
+    n.s_dur <- t -. n.s_t0;
+    n.s_d_minor <- q.gs_minor -. n.s_minor0;
+    n.s_d_major <- q.gs_major -. n.s_major0;
+    n.s_d_promoted <- q.gs_promoted -. n.s_promoted0;
+    n.s_d_mincol <- q.gs_mincol - n.s_mincol0;
+    n.s_d_majcol <- q.gs_majcol - n.s_majcol0
+  end
 
 module Span = struct
   type t = node option
@@ -110,47 +150,40 @@ module Span = struct
   let none = None
 
   let enter ?(args = []) name =
-    if not !enabled_flag then None
+    if not (Atomic.get enabled_flag) then None
     else begin
-      let n = make_node ~name ~args in
-      (match !stack with
-      | top :: _ -> top.s_children <- n :: top.s_children
-      | [] -> stack := [ !root_node ]);
-      stack := n :: !stack;
-      Some n
+      let st = cur_stack () in
+      match !st with
+      | [] -> None  (* a worker outside any Domain_scope: drop the span *)
+      | top :: _ as stack ->
+        let n = make_node ~name ~args in
+        top.s_children <- n :: top.s_children;
+        st := n :: stack;
+        Some n
     end
 
   let exit sp =
     match sp with
     | None -> ()
     | Some n ->
-      if n.s_gen = !generation && List.memq n !stack then begin
+      let st = cur_stack () in
+      if n.s_gen = Atomic.get generation && List.memq n !st then begin
         let t = now () in
         let q = gc_snap () in
-        let close top =
-          if top.s_dur < 0. then begin
-            top.s_dur <- t -. top.s_t0;
-            top.s_d_minor <- q.gs_minor -. top.s_minor0;
-            top.s_d_major <- q.gs_major -. top.s_major0;
-            top.s_d_promoted <- q.gs_promoted -. top.s_promoted0;
-            top.s_d_mincol <- q.gs_mincol - top.s_mincol0;
-            top.s_d_majcol <- q.gs_majcol - top.s_majcol0
-          end
-        in
         (* Close forgotten open descendants along the way. *)
         let continue = ref true in
         while !continue do
-          match !stack with
+          match !st with
           | top :: rest ->
-            close top;
-            stack := rest;
+            close_node ~t ~q top;
+            st := rest;
             if top == n then continue := false
           | [] -> continue := false
         done
       end
 
   let with_ ?args name f =
-    if not !enabled_flag then f ()
+    if not (Atomic.get enabled_flag) then f ()
     else begin
       let sp = enter ?args name in
       match f () with
@@ -169,20 +202,29 @@ end
 module Counter = struct
   type t = counter
 
-  let make name = { c_name = name; c_total = 0; c_gen = 0 }
+  let make name = { c_name = name; c_total = Atomic.make 0; c_gen = Atomic.make 0 }
 
+  (* Registration is double-checked under [reg_mutex] so two domains racing
+     on first use register the counter exactly once.  [c_total] is zeroed
+     before the generation stamp is published, so a third domain that sees
+     the fresh stamp always adds on top of the reset total. *)
   let touch c =
-    if c.c_gen <> !generation then begin
-      c.c_total <- 0;
-      c.c_gen <- !generation;
-      counters_reg := c :: !counters_reg
+    if Atomic.get c.c_gen <> Atomic.get generation then begin
+      Mutex.lock reg_mutex;
+      let gen = Atomic.get generation in
+      if Atomic.get c.c_gen <> gen then begin
+        Atomic.set c.c_total 0;
+        Atomic.set c.c_gen gen;
+        counters_reg := c :: !counters_reg
+      end;
+      Mutex.unlock reg_mutex
     end
 
   let add c n =
-    if !enabled_flag then begin
+    if Atomic.get enabled_flag then begin
       touch c;
-      c.c_total <- c.c_total + n;
-      match !stack with
+      ignore (Atomic.fetch_and_add c.c_total n);
+      match !(cur_stack ()) with
       | top :: _ :: _ -> (
         (* top is a real span (the root is below it): attribute the delta *)
         match List.assq_opt c top.s_counters with
@@ -193,26 +235,100 @@ module Counter = struct
 
   let incr c = add c 1
 
-  let value c = if c.c_gen = !generation then c.c_total else 0
+  let value c =
+    if Atomic.get c.c_gen = Atomic.get generation then Atomic.get c.c_total else 0
 end
 
 module Gauge = struct
   type t = gauge
 
-  let make name = { g_name = name; g_value = 0.; g_gen = 0 }
+  let make name = { g_name = name; g_value = Atomic.make 0.; g_gen = Atomic.make 0 }
 
   let set g v =
-    if !enabled_flag then begin
-      if g.g_gen <> !generation then begin
-        g.g_gen <- !generation;
-        gauges_reg := g :: !gauges_reg
-      end;
-      g.g_value <- v
+    if Atomic.get enabled_flag then begin
+      (if Atomic.get g.g_gen <> Atomic.get generation then begin
+         Mutex.lock reg_mutex;
+         let gen = Atomic.get generation in
+         if Atomic.get g.g_gen <> gen then begin
+           Atomic.set g.g_value 0.;
+           Atomic.set g.g_gen gen;
+           gauges_reg := g :: !gauges_reg
+         end;
+         Mutex.unlock reg_mutex
+       end);
+      Atomic.set g.g_value v
     end
 
   let set_int g v = set g (float_of_int v)
 
-  let value g = if g.g_gen = !generation then g.g_value else 0.
+  let value g =
+    if Atomic.get g.g_gen = Atomic.get generation then Atomic.get g.g_value else 0.
+end
+
+(* ------------------------------------------------------------------ *)
+(* Off-owner span buffers                                             *)
+
+module Domain_scope = struct
+  (* A buffer root: spans recorded while the scope is active hang off it,
+     and [merge] splices them under the owner's innermost open span.  The
+     buffer root itself never appears in exports. *)
+  type t = node option
+
+  let none = None
+
+  let create () =
+    if not (Atomic.get enabled_flag) then None
+    else Some (make_node ~name:"" ~args:[])
+
+  (* Pop and close everything the task left open above the scope root. *)
+  let drain_above st stop_at =
+    match !st with
+    | [ n ] when n == stop_at -> ()
+    | _ ->
+      let t = now () in
+      let q = gc_snap () in
+      let continue = ref true in
+      while !continue do
+        match !st with
+        | top :: rest when not (top == stop_at) ->
+          close_node ~t ~q top;
+          st := rest
+        | _ -> continue := false
+      done
+
+  let run sc f =
+    match sc with
+    | None -> f ()
+    | Some root ->
+      let st = cur_stack () in
+      let saved = !st in
+      st := [ root ];
+      let restore () =
+        drain_above st root;
+        st := saved
+      in
+      (match f () with
+      | v ->
+        restore ();
+        v
+      | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        restore ();
+        Printexc.raise_with_backtrace e bt)
+
+  let merge sc =
+    match sc with
+    | None -> ()
+    | Some root ->
+      if root.s_gen = Atomic.get generation && root.s_children <> [] then begin
+        match !(cur_stack ()) with
+        | top :: _ ->
+          (* Both child lists are reverse chronological; prepending keeps
+             successive merges in call order once reversed, i.e. merged
+             subtrees read in task-index order. *)
+          top.s_children <- root.s_children @ top.s_children
+        | [] -> ()
+      end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -221,29 +337,33 @@ end
 (* High-water mark of [Gc.quick_stat].heap_words, maintained by a GC alarm
    that fires at the end of every major collection while the layer is
    enabled (plus one seed sample when collection starts, so the gauge is
-   never absent from an enabled export). *)
+   never absent from an enabled export).  The compare-then-set pair is not
+   atomic; a lost race between two domains' alarms only under-reports the
+   high-water mark by one sample, which the next major refreshes. *)
 let peak_heap_gauge = Gauge.make "gc.peak_major_heap_words"
 
 let gc_alarm : Gc.alarm option ref = ref None
 
 let sample_peak_heap () =
-  if !enabled_flag then begin
+  if Atomic.get enabled_flag then begin
     let hw = float_of_int (Gc.quick_stat ()).Gc.heap_words in
     if Gauge.value peak_heap_gauge < hw then Gauge.set peak_heap_gauge hw
   end
 
 let reset () =
-  incr generation;
+  ignore (Atomic.fetch_and_add generation 1);
+  Mutex.lock reg_mutex;
   counters_reg := [];
   gauges_reg := [];
+  Mutex.unlock reg_mutex;
   let r = make_root () in
   root_node := r;
-  stack := [ r ];
+  owner_stack := [ r ];
   epoch := now ();
   sample_peak_heap ()
 
 let set_enabled b =
-  enabled_flag := b;
+  Atomic.set enabled_flag b;
   (match (b, !gc_alarm) with
   | true, None -> gc_alarm := Some (Gc.create_alarm sample_peak_heap)
   | false, Some a ->
@@ -253,7 +373,7 @@ let set_enabled b =
   sample_peak_heap ();
   (* Fresh registry + no open spans: restart the epoch so trace timestamps
      start at the moment collection was switched on. *)
-  if b && (!root_node).s_children = [] && List.length !stack = 1 then epoch := now ()
+  if b && (!root_node).s_children = [] && List.length !owner_stack = 1 then epoch := now ()
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                      *)
@@ -374,10 +494,22 @@ let span_stats () =
   walk "" (group_siblings (List.rev (!root_node).s_children));
   List.rev !acc
 
+(* Name order rather than registration order: concurrent first-touches
+   reach the registry in whatever order the domains interleave, so sorting
+   is what keeps two runs of the same workload comparable. *)
 let counters () =
-  List.rev_map (fun c -> (c.c_name, c.c_total)) !counters_reg
+  Mutex.lock reg_mutex;
+  let cs = !counters_reg in
+  Mutex.unlock reg_mutex;
+  List.map (fun c -> (c.c_name, Atomic.get c.c_total)) cs
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let gauges () = List.rev_map (fun g -> (g.g_name, g.g_value)) !gauges_reg
+let gauges () =
+  Mutex.lock reg_mutex;
+  let gs = !gauges_reg in
+  Mutex.unlock reg_mutex;
+  List.map (fun g -> (g.g_name, Atomic.get g.g_value)) gs
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
@@ -444,7 +576,7 @@ let metrics_json () =
   add "{\n";
   add "  \"schema\": \"maxtruss-obs-metrics\",\n";
   add "  \"version\": 2,\n";
-  add "  \"enabled\": %b,\n" !enabled_flag;
+  add "  \"enabled\": %b,\n" (Atomic.get enabled_flag);
   let stats = span_stats () in
   add "  \"spans\": [";
   List.iteri

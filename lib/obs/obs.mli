@@ -4,23 +4,30 @@
     span tree, schema-versioned metrics JSON, Chrome trace-event JSON
     loadable in Perfetto / [chrome://tracing]).
 
-    Memory attribution: every span records [Gc.quick_stat] deltas over its
-    lifetime (minor/major/promoted words, minor+major collections), rolled
-    up inclusively and exclusively exactly like wall time, and a GC alarm
-    maintains a peak-major-heap gauge ([gc.peak_major_heap_words]) while
-    collection is on.
+    Memory attribution: every span records per-domain GC counter deltas
+    over its lifetime (minor/major/promoted words, minor+major
+    collections), rolled up inclusively and exclusively exactly like wall
+    time, and a GC alarm maintains a peak-major-heap gauge
+    ([gc.peak_major_heap_words]) while collection is on.
 
     Overhead contract: everything is off by default.  While disabled,
     [Span.enter]/[Span.exit] with a static name, [Counter.add]/[incr] and
-    [Gauge.set] cost a single mutable-bool branch and allocate nothing, so
+    [Gauge.set] cost a single atomic-bool load and allocate nothing, so
     instrumentation may stay in kernel hot paths; the registry does not
     grow (counters and gauges only register themselves on first use while
     enabled), and no GC alarm is installed.  The only call-site allocations
     are optional [?args] lists, which instrumented code confines to coarse
     (per-level) granularity.
 
-    The layer is deliberately single-threaded, like the pipeline: spans
-    form one tree per process between two [reset]s. *)
+    Domain safety: counters, gauges, the enabled flag and the generation
+    stamp are atomic, so any domain may bump them concurrently.  The span
+    tree has a single owner — the domain that loaded this module — and
+    other domains only record spans inside a {!Domain_scope}: a per-task
+    buffer the owner splices under its innermost open span at
+    {!Domain_scope.merge} in an order of its choosing, keeping exports
+    deterministic at any domain count.  Spans entered on a non-owner domain
+    outside any scope are dropped; [reset], [set_enabled] and the exporters
+    must only run on the owner domain, with no scope in flight. *)
 
 val enabled : unit -> bool
 
@@ -28,11 +35,12 @@ val set_enabled : bool -> unit
 (** Turning collection on also (re)starts the trace epoch if the registry
     is empty, installs the peak-heap GC alarm and seeds its gauge.
     Disabling mid-run keeps collected data for export and removes the
-    alarm. *)
+    alarm.  Owner-domain only. *)
 
 val reset : unit -> unit
 (** Drop all spans and unregister all counters/gauges (their totals restart
-    from zero on next use).  Does not change the enabled flag. *)
+    from zero on next use).  Does not change the enabled flag.
+    Owner-domain only; must not race in-flight {!Domain_scope}s. *)
 
 module Span : sig
   type t
@@ -41,13 +49,15 @@ module Span : sig
   (** The no-op span; what [enter] returns while disabled. *)
 
   val enter : ?args:(string * string) list -> string -> t
-  (** Open a span under the currently innermost open span.  [?args] are
-      free-form key/value annotations kept in exports; omit them on hot
-      paths (the list is allocated by the caller even when disabled). *)
+  (** Open a span under the current domain's innermost open span.  [?args]
+      are free-form key/value annotations kept in exports; omit them on hot
+      paths (the list is allocated by the caller even when disabled).  On a
+      non-owner domain outside any {!Domain_scope} this returns {!none}. *)
 
   val exit : t -> unit
   (** Close the span (and, defensively, any forgotten children still open
-      inside it).  No-op on [none] or a span from before the last [reset]. *)
+      inside it).  No-op on [none] or a span from before the last [reset].
+      Must run on the domain that entered the span. *)
 
   val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
   (** [with_ name f] = [enter]/[exit] around [f ()], exception-safe. *)
@@ -61,7 +71,10 @@ module Counter : sig
       joins the registry on first [add]/[incr] while enabled. *)
 
   val incr : t -> unit
+
   val add : t -> int -> unit
+  (** Atomic; safe from any domain.  The increment is also attributed to
+      the calling domain's innermost open span, when there is one. *)
 
   val value : t -> int
   (** Total since the last [reset] (0 if untouched since). *)
@@ -73,10 +86,38 @@ module Gauge : sig
   val make : string -> t
 
   val set : t -> float -> unit
-  (** Last-write-wins; exports report the most recent value. *)
+  (** Last-write-wins (atomic); exports report the most recent value. *)
 
   val set_int : t -> int -> unit
   val value : t -> float
+end
+
+module Domain_scope : sig
+  (** Span buffering for worker domains, used by the [Par] pool: the owner
+      creates one scope per task before forking, each task runs inside
+      {!run} on whichever domain picks it up, and after the join the owner
+      calls {!merge} in task-index order — so the exported span tree is
+      identical no matter how many domains actually ran the tasks. *)
+
+  type t
+
+  val none : t
+  (** The no-op scope; what {!create} returns while disabled. *)
+
+  val create : unit -> t
+  (** Allocate a buffer for one task's spans.  Owner domain, pre-fork.
+      Returns {!none} while disabled (and then {!run} and {!merge} are
+      no-ops costing one branch). *)
+
+  val run : t -> (unit -> 'a) -> 'a
+  (** Run a task with the current domain's span stack rooted at the scope's
+      buffer; exception-safe, closes any span the task left open, restores
+      the previous stack.  Any domain, including the owner. *)
+
+  val merge : t -> unit
+  (** Splice the scope's recorded spans under the owner's innermost open
+      span.  Owner domain, post-join; call once per scope, in task order.
+      Scopes from before the last [reset] are dropped. *)
 end
 
 (** {2 Introspection (used by the exporters and the test suite)} *)
@@ -105,9 +146,11 @@ val span_stats : unit -> span_stat list
 (** Aggregated span tree in preorder; open spans are measured up to now. *)
 
 val counters : unit -> (string * int) list
-(** Registered counters in registration order. *)
+(** Registered counters sorted by name (registration order is
+    scheduling-dependent once several domains first-touch concurrently). *)
 
 val gauges : unit -> (string * float) list
+(** Registered gauges sorted by name. *)
 
 (** {2 Exporters} *)
 

@@ -10,13 +10,17 @@ type entry = {
   mad_ns : float;
   samples : int;
   alloc_w : float;
+  tol : float option;
 }
 
 type t = { entries : entry list }
 
 let schema_name = "maxtruss-perf-baseline"
 
-let schema_version = 1
+(* v2 adds the optional per-entry "tol" override and gates on alloc_w; v1
+   files (no "tol" anywhere) are still read, defaulting every override to
+   the comparator's global tolerance. *)
+let schema_version = 2
 
 (* --- robust statistics -------------------------------------------------- *)
 
@@ -36,13 +40,14 @@ let mad xs =
     median (Array.map (fun x -> Float.abs (x -. m)) xs)
   end
 
-let of_samples ~name ~ns ~alloc_w =
+let of_samples ?tol ~name ~ns ~alloc_w () =
   {
     name;
     median_ns = median ns;
     mad_ns = mad ns;
     samples = Array.length ns;
     alloc_w = median alloc_w;
+    tol;
   }
 
 (* --- file format -------------------------------------------------------- *)
@@ -60,10 +65,13 @@ let to_json t =
     (fun i e ->
       add
         "%s\n    { \"name\": \"%s\", \"median_ns\": %s, \"mad_ns\": %s, \"samples\": \
-         %d, \"alloc_w\": %s }"
+         %d, \"alloc_w\": %s%s }"
         (if i = 0 then "" else ",")
         (Json_min.escape e.name) (fnum e.median_ns) (fnum e.mad_ns) e.samples
-        (fnum e.alloc_w))
+        (fnum e.alloc_w)
+        (match e.tol with
+        | None -> ""
+        | Some tol -> Printf.sprintf ", \"tol\": %s" (fnum tol)))
     t.entries;
   add "%s  ]\n" (if t.entries = [] then "" else "\n");
   add "}\n";
@@ -77,9 +85,11 @@ let of_json s =
     | Some (Some schema), _ when schema <> schema_name ->
       Error (Printf.sprintf "schema mismatch: expected %S, got %S" schema_name schema)
     | None, _ | Some None, _ -> Error "schema mismatch: missing \"schema\" field"
-    | _, v when Json_min.num_or (-1.) v <> float_of_int schema_version ->
+    | _, v
+      when (let ver = Json_min.num_or (-1.) v in
+            ver <> 1. && ver <> float_of_int schema_version) ->
       Error
-        (Printf.sprintf "schema version mismatch: expected %d, got %g" schema_version
+        (Printf.sprintf "schema version mismatch: expected 1..%d, got %g" schema_version
            (Json_min.num_or (-1.) v))
     | _ -> (
       match Json_min.(member "entries" j |> Option.map to_arr) with
@@ -94,6 +104,10 @@ let of_json s =
                 mad_ns = Json_min.(num_or 0. (member "mad_ns" it));
                 samples = int_of_float Json_min.(num_or 1. (member "samples" it));
                 alloc_w = Json_min.(num_or 0. (member "alloc_w" it));
+                tol =
+                  (match Json_min.member "tol" it with
+                  | Some v -> Json_min.to_num v
+                  | None -> None);
               }
           | _ -> None
         in
@@ -125,9 +139,14 @@ type delta = {
   d_threshold_ns : float;
   d_base_alloc_w : float;
   d_fresh_alloc_w : float;
+  d_alloc_regression : bool;
 }
 
-let compare ?(rel_tol = 0.25) ?(mad_k = 5.0) ~baseline ~fresh () =
+(* Absolute floor for the allocation gate: kernels that allocate (almost)
+   nothing would otherwise flake on a handful of incidental words. *)
+let alloc_floor_w = 4096.
+
+let compare ?(rel_tol = 0.25) ?(mad_k = 5.0) ?(alloc_tol = 0.5) ~baseline ~fresh () =
   let fresh_tbl = Hashtbl.create 16 in
   List.iter (fun e -> Hashtbl.replace fresh_tbl e.name e) fresh.entries;
   let matched =
@@ -143,9 +162,11 @@ let compare ?(rel_tol = 0.25) ?(mad_k = 5.0) ~baseline ~fresh () =
             d_threshold_ns = 0.;
             d_base_alloc_w = be.alloc_w;
             d_fresh_alloc_w = 0.;
+            d_alloc_regression = false;
           }
         | Some fe ->
           Hashtbl.remove fresh_tbl be.name;
+          let rel_tol = Option.value be.tol ~default:rel_tol in
           let threshold =
             Float.max (rel_tol *. be.median_ns) (mad_k *. be.mad_ns)
           in
@@ -154,6 +175,7 @@ let compare ?(rel_tol = 0.25) ?(mad_k = 5.0) ~baseline ~fresh () =
             else if fe.median_ns < be.median_ns -. threshold then Improvement
             else Unchanged
           in
+          let alloc_threshold = Float.max (alloc_tol *. be.alloc_w) alloc_floor_w in
           {
             d_name = be.name;
             d_verdict = verdict;
@@ -162,6 +184,7 @@ let compare ?(rel_tol = 0.25) ?(mad_k = 5.0) ~baseline ~fresh () =
             d_threshold_ns = threshold;
             d_base_alloc_w = be.alloc_w;
             d_fresh_alloc_w = fe.alloc_w;
+            d_alloc_regression = fe.alloc_w > be.alloc_w +. alloc_threshold;
           })
       baseline.entries
   in
@@ -178,13 +201,15 @@ let compare ?(rel_tol = 0.25) ?(mad_k = 5.0) ~baseline ~fresh () =
               d_threshold_ns = 0.;
               d_base_alloc_w = 0.;
               d_fresh_alloc_w = fe.alloc_w;
+              d_alloc_regression = false;
             }
         else None)
       fresh.entries
   in
   matched @ added
 
-let regressions = List.filter (fun d -> d.d_verdict = Regression)
+let regressions =
+  List.filter (fun d -> d.d_verdict = Regression || d.d_alloc_regression)
 
 let fmt_ns ns =
   let a = Float.abs ns in
@@ -226,9 +251,15 @@ let print_table oc deltas =
           else if Float.abs dw >= 1e3 then Printf.sprintf "%+.1fkw" (dw /. 1e3)
           else Printf.sprintf "%+.0fw" dw
       in
+      let verdict =
+        match (d.d_verdict, d.d_alloc_regression) with
+        | Regression, true -> "REGRESSION+ALLOC"
+        | v, true -> verdict_str v ^ " ALLOC-REGRESSION"
+        | v, false -> verdict_str v
+      in
       Printf.fprintf oc "%-40s %10s %10s %8s %8s %10s  %s\n" d.d_name
         (if d.d_verdict = Added then "-" else fmt_ns d.d_base_ns)
         (if d.d_verdict = Removed then "-" else fmt_ns d.d_fresh_ns)
-        delta_str tol_str alloc_str (verdict_str d.d_verdict))
+        delta_str tol_str alloc_str verdict)
     deltas;
   flush oc

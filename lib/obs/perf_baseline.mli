@@ -6,7 +6,13 @@
     count, and the median allocation per run — enough to make a later run
     comparable without assuming anything about the noise distribution.
     [bench/main.exe --record FILE] writes one; [--check FILE] compares a
-    fresh run against it and fails on regressions (see {!compare}). *)
+    fresh run against it and fails on regressions (see {!compare}).
+
+    Version 2 adds an optional per-entry ["tol"] field that overrides the
+    comparator's global relative tolerance for that kernel (noisy kernels
+    can carry a looser gate without loosening the whole suite), and the
+    comparator now also gates on [alloc_w].  Version-1 files are still
+    read; their entries simply have no override. *)
 
 type entry = {
   name : string;  (** kernel id, e.g. ["kernels/csr_support\@gowalla"] *)
@@ -15,6 +21,8 @@ type entry = {
   samples : int;  (** how many Bechamel samples the statistics summarize *)
   alloc_w : float;
       (** median words allocated per run (minor + major - promoted) *)
+  tol : float option;
+      (** per-kernel relative tolerance overriding {!compare}'s [rel_tol] *)
 }
 
 type t = { entries : entry list }
@@ -31,16 +39,18 @@ val median : float array -> float
 val mad : float array -> float
 (** Median absolute deviation from the median; [0.] on the empty array. *)
 
-val of_samples : name:string -> ns:float array -> alloc_w:float array -> entry
-(** Summarize per-sample measurements into a baseline entry. *)
+val of_samples : ?tol:float -> name:string -> ns:float array -> alloc_w:float array -> unit -> entry
+(** Summarize per-sample measurements into a baseline entry.  [tol] is the
+    optional per-kernel tolerance override carried into the file. *)
 
 (** {2 File format} *)
 
 val to_json : t -> string
 
 val of_json : string -> (t, string) result
-(** Rejects a wrong [schema] or [version] (schema-version mismatch is an
-    [Error], never a silent best-effort parse). *)
+(** Rejects a wrong [schema] and any [version] outside [1..schema_version]
+    (mismatch is an [Error], never a silent best-effort parse).  Version-1
+    files parse with [tol = None] on every entry. *)
 
 val write : string -> t -> unit
 (** May raise [Sys_error]; drivers catch it and exit 1. *)
@@ -65,20 +75,38 @@ type delta = {
   d_threshold_ns : float;  (** [0.] for [Added]/[Removed] *)
   d_base_alloc_w : float;
   d_fresh_alloc_w : float;
+  d_alloc_regression : bool;
+      (** allocation gate tripped (independent of the time verdict) *)
 }
 
+val alloc_floor_w : float
+(** Absolute floor of the allocation gate (words): a fresh median must
+    exceed baseline + max(alloc_tol * baseline, this floor) to regress. *)
+
 val compare :
-  ?rel_tol:float -> ?mad_k:float -> baseline:t -> fresh:t -> unit -> delta list
+  ?rel_tol:float ->
+  ?mad_k:float ->
+  ?alloc_tol:float ->
+  baseline:t ->
+  fresh:t ->
+  unit ->
+  delta list
 (** One delta per kernel in either input (baseline order first, then fresh
-    additions).  A kernel regresses iff
+    additions).  A kernel's time regresses iff
 
-    {[ fresh_median > base_median + max (rel_tol * base_median) (mad_k * base_mad) ]}
+    {[ fresh_median > base_median + max (tol * base_median) (mad_k * base_mad) ]}
 
-    and improves symmetrically; the MAD term stops noisy kernels from
-    flaking, the relative term stops zero-MAD kernels from tripping on
-    scheduler jitter.  Defaults: [rel_tol = 0.25], [mad_k = 5.0]. *)
+    where [tol] is the entry's own override when present, [rel_tol]
+    otherwise — and improves symmetrically; the MAD term stops noisy
+    kernels from flaking, the relative term stops zero-MAD kernels from
+    tripping on scheduler jitter.  Its allocation regresses iff
+
+    {[ fresh_alloc > base_alloc + max (alloc_tol * base_alloc) alloc_floor_w ]}
+
+    Defaults: [rel_tol = 0.25], [mad_k = 5.0], [alloc_tol = 0.5]. *)
 
 val regressions : delta list -> delta list
+(** Deltas failing either gate: time [Regression] or [d_alloc_regression]. *)
 
 val print_table : out_channel -> delta list -> unit
 (** Aligned comparison table (baseline / fresh / Δ / threshold / alloc Δ /

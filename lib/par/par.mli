@@ -1,0 +1,57 @@
+(** Fixed domain pool with deterministic fork/join primitives (stdlib
+    [Domain]/[Mutex]/[Condition] only — no Domainslib).
+
+    Sizing: [domains () = 1] (the default, or [MAXTRUSS_DOMAINS]/
+    {!set_domains}) runs every primitive on the calling domain with no pool
+    and no overhead beyond a branch — exactly the sequential code path.
+    For [N > 1], [N - 1] worker domains are spawned lazily on the first
+    parallel region and parked between regions; the caller participates as
+    slot 0.
+
+    Determinism: task-to-slot assignment and chunk boundaries are static
+    functions of (task count, domain count); results are stored at their
+    task index and Obs span buffers merge in task-index order after the
+    join.  A primitive therefore returns bit-identical results at any
+    domain count, provided task bodies touch no shared mutable state (or
+    write only to disjoint slices) — which is the caller's obligation.
+
+    Reentrancy: a region entered from a worker domain, or while another
+    region runs on the main domain, degrades to sequential execution
+    instead of deadlocking.
+
+    Exceptions: if tasks raise, the lowest-indexed task's exception is
+    re-raised (with its backtrace) after all tasks finish. *)
+
+val domains : unit -> int
+(** Current target parallelism (>= 1).  Resolved from [MAXTRUSS_DOMAINS]
+    on first call unless {!set_domains} ran first. *)
+
+val set_domains : int -> unit
+(** Request a parallelism level (clamped to >= 1).  Joins and respawns the
+    pool if the size changes; idempotent otherwise.  Main domain only. *)
+
+val tasks : (unit -> 'a) array -> 'a array
+(** Run the thunks as one parallel region; [tasks fs |> Array.get i] is
+    [fs.(i) ()] up to evaluation interleaving.  Task [t] runs on slot
+    [t mod domains ()], each slot in ascending index order. *)
+
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+(** One task per element — intended for coarse-grained work items (e.g.
+    per-component phases); for fine-grained loops chunk with
+    {!chunk_bounds} or {!parallel_for} instead. *)
+
+val map_list : ('a -> 'b) -> 'a list -> 'b list
+(** {!parallel_map} over a list, preserving order. *)
+
+val chunk_bounds : chunks:int -> n:int -> (int * int) array
+(** Even static split of [0, n) into at most [chunks] non-empty [(lo, hi)]
+    ranges: chunk [i] is [(i*n/c, (i+1)*n/c)].  Empty for [n <= 0]. *)
+
+val parallel_for : ?chunks:int -> n:int -> (int -> int -> unit) -> unit
+(** [parallel_for ~n f] runs [f lo hi] over a static chunking of [0, n)
+    ([?chunks] defaults to [domains ()]).  [f] must write only to
+    chunk-disjoint state. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains and drop the pool; the next region respawns
+    it.  Registered [at_exit] so idle workers never outlive the process. *)

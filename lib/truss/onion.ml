@@ -94,13 +94,29 @@ let peel_csr ~h ~k ~candidates =
   let layer_arr = Array.make (max m 1) 0 in
   let alive = Array.make (max m 1) true in
   let remaining = ref 0 in
-  for e = 0 to m - 1 do
-    if is_cand.(e) then begin
-      incr remaining;
-      let u, v = Csr.edge_endpoints csr e in
-      sup.(e) <- Csr.count_common_neighbors csr u v
-    end
-  done;
+  let init_range lo hi =
+    let cnt = ref 0 in
+    for e = lo to hi - 1 do
+      if is_cand.(e) then begin
+        incr cnt;
+        let u, v = Csr.edge_endpoints csr e in
+        sup.(e) <- Csr.count_common_neighbors csr u v
+      end
+    done;
+    !cnt
+  in
+  let d = Par.domains () in
+  if d <= 1 || m < 4096 then remaining := init_range 0 m
+  else begin
+    (* Chunks write disjoint [sup] slots and only read the snapshot, so the
+       array is the same as the sequential fill; per-chunk candidate counts
+       are summed in task order. *)
+    let counts =
+      Par.tasks
+        (Array.map (fun (lo, hi) () -> init_range lo hi) (Par.chunk_bounds ~chunks:d ~n:m))
+    in
+    Array.iter (fun c -> remaining := !remaining + c) counts
+  end;
   let frontier = ref [] in
   for e = m - 1 downto 0 do
     if is_cand.(e) && sup.(e) < threshold then frontier := e :: !frontier

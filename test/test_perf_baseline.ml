@@ -26,23 +26,25 @@ let test_median_mad () =
 let test_of_samples () =
   let e =
     Perf_baseline.of_samples ~name:"k" ~ns:[| 5.; 1.; 3.; 2.; 4. |]
-      ~alloc_w:[| 10.; 30.; 20. |]
+      ~alloc_w:[| 10.; 30.; 20. |] ()
   in
   Alcotest.(check string) "name" "k" e.Perf_baseline.name;
   check_feq "median_ns" 3. e.Perf_baseline.median_ns;
   check_feq "mad_ns" 1. e.Perf_baseline.mad_ns;
   Alcotest.(check int) "samples" 5 e.Perf_baseline.samples;
-  check_feq "alloc median" 20. e.Perf_baseline.alloc_w
+  check_feq "alloc median" 20. e.Perf_baseline.alloc_w;
+  Alcotest.(check bool) "no tol by default" true (e.Perf_baseline.tol = None)
 
 (* --- file format --- *)
 
-let entry name median mad samples alloc =
+let entry ?tol name median mad samples alloc =
   {
     Perf_baseline.name;
     median_ns = median;
     mad_ns = mad;
     samples;
     alloc_w = alloc;
+    tol;
   }
 
 let test_roundtrip () =
@@ -51,6 +53,7 @@ let test_roundtrip () =
       Perf_baseline.entries =
         [
           entry "kernels/csr_support@gowalla" 5080822.112 1234.5 180 98765.;
+          entry ~tol:0.6 "kernels/noisy_kernel@gowalla" 100. 40. 12 5000.;
           entry "odd \"name\" with\\escapes" 1.25 0. 5 0.;
         ];
     }
@@ -61,15 +64,36 @@ let test_roundtrip () =
   match Perf_baseline.read file with
   | Error e -> Alcotest.failf "roundtrip read failed: %s" e
   | Ok t' ->
-    Alcotest.(check int) "entry count" 2 (List.length t'.Perf_baseline.entries);
+    Alcotest.(check int) "entry count" 3 (List.length t'.Perf_baseline.entries);
     List.iter2
       (fun (a : Perf_baseline.entry) (b : Perf_baseline.entry) ->
         Alcotest.(check string) "name" a.Perf_baseline.name b.Perf_baseline.name;
         check_feq ~eps:1e-3 "median" a.Perf_baseline.median_ns b.Perf_baseline.median_ns;
         check_feq ~eps:1e-3 "mad" a.Perf_baseline.mad_ns b.Perf_baseline.mad_ns;
         Alcotest.(check int) "samples" a.Perf_baseline.samples b.Perf_baseline.samples;
-        check_feq ~eps:1e-3 "alloc" a.Perf_baseline.alloc_w b.Perf_baseline.alloc_w)
+        check_feq ~eps:1e-3 "alloc" a.Perf_baseline.alloc_w b.Perf_baseline.alloc_w;
+        (match (a.Perf_baseline.tol, b.Perf_baseline.tol) with
+        | None, None -> ()
+        | Some x, Some y -> check_feq ~eps:1e-3 "tol" x y
+        | _ -> Alcotest.failf "tol lost in roundtrip for %s" a.Perf_baseline.name))
       t.Perf_baseline.entries t'.Perf_baseline.entries
+
+(* Version-1 files (no "tol" fields) must still parse. *)
+let test_v1_compat () =
+  match
+    Perf_baseline.of_json
+      "{\"schema\": \"maxtruss-perf-baseline\", \"version\": 1, \"entries\": [\n\
+      \  { \"name\": \"k\", \"median_ns\": 10.5, \"mad_ns\": 1.0, \"samples\": 7, \
+       \"alloc_w\": 128 } ] }"
+  with
+  | Error e -> Alcotest.failf "v1 parse failed: %s" e
+  | Ok t ->
+    (match t.Perf_baseline.entries with
+    | [ e ] ->
+      Alcotest.(check string) "name" "k" e.Perf_baseline.name;
+      check_feq "median" 10.5 e.Perf_baseline.median_ns;
+      Alcotest.(check bool) "tol defaults to None" true (e.Perf_baseline.tol = None)
+    | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l))
 
 let expect_error msg = function
   | Ok _ -> Alcotest.failf "%s: expected an error" msg
@@ -159,12 +183,67 @@ let test_compare_thresholds () =
   Alcotest.check vd "outside MAD band" Perf_baseline.Regression (verdict 1501.);
   Alcotest.check vd "improved outside band" Perf_baseline.Improvement (verdict 400.)
 
+let test_tol_override () =
+  (* The entry's own tolerance widens its band without touching siblings. *)
+  let baseline =
+    {
+      Perf_baseline.entries =
+        [ entry ~tol:1.0 "loose" 100. 0. 9 0.; entry "strict" 100. 0. 9 0. ];
+    }
+  in
+  let fresh =
+    { Perf_baseline.entries = [ entry "loose" 190. 0. 9 0.; entry "strict" 190. 0. 9 0. ] }
+  in
+  let deltas = Perf_baseline.compare ~rel_tol:0.25 ~mad_k:5.0 ~baseline ~fresh () in
+  Alcotest.check vd "loose kernel within its own tol" Perf_baseline.Unchanged
+    (verdict_of deltas "loose");
+  Alcotest.check vd "strict kernel regresses at global tol" Perf_baseline.Regression
+    (verdict_of deltas "strict")
+
+let test_alloc_gate () =
+  let delta_of deltas name =
+    match List.find_opt (fun d -> d.Perf_baseline.d_name = name) deltas with
+    | Some d -> d
+    | None -> Alcotest.failf "kernel %S missing from deltas" name
+  in
+  let baseline =
+    {
+      Perf_baseline.entries =
+        [ entry "big" 100. 0. 9 100000.; entry "tiny" 100. 0. 9 100. ];
+    }
+  in
+  (* big: +100% alloc, way past 50% + floor; tiny: +2900w, under the 4096w
+     absolute floor even though it is a 29x relative jump. *)
+  let fresh =
+    {
+      Perf_baseline.entries =
+        [ entry "big" 100. 0. 9 200000.; entry "tiny" 100. 0. 9 3000. ];
+    }
+  in
+  let deltas = Perf_baseline.compare ~baseline ~fresh () in
+  let big = delta_of deltas "big" and tiny = delta_of deltas "tiny" in
+  Alcotest.(check bool) "big alloc regresses" true big.Perf_baseline.d_alloc_regression;
+  Alcotest.check vd "big time verdict unchanged" Perf_baseline.Unchanged
+    big.Perf_baseline.d_verdict;
+  Alcotest.(check bool) "tiny under absolute floor" false
+    tiny.Perf_baseline.d_alloc_regression;
+  Alcotest.(check (list string))
+    "regressions include alloc-only failures" [ "big" ]
+    (List.map (fun d -> d.Perf_baseline.d_name) (Perf_baseline.regressions deltas));
+  (* a looser alloc_tol waves the same delta through *)
+  let relaxed = Perf_baseline.compare ~alloc_tol:1.5 ~baseline ~fresh () in
+  Alcotest.(check int) "alloc_tol relaxes the gate" 0
+    (List.length (Perf_baseline.regressions relaxed))
+
 let suite =
   [
     Alcotest.test_case "median + mad" `Quick test_median_mad;
     Alcotest.test_case "of_samples" `Quick test_of_samples;
     Alcotest.test_case "write/read roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;
     Alcotest.test_case "schema rejection" `Quick test_schema_rejection;
     Alcotest.test_case "compare verdicts" `Quick test_compare_verdicts;
     Alcotest.test_case "compare thresholds" `Quick test_compare_thresholds;
+    Alcotest.test_case "per-entry tol override" `Quick test_tol_override;
+    Alcotest.test_case "alloc gate" `Quick test_alloc_gate;
   ]
