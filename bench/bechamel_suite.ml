@@ -132,6 +132,37 @@ let kernel_onion =
        let backdrop = Truss.Decompose.truss_edge_table dec kd in
        Some (Truss.Onion.build_h ~g ~backdrop ~candidates:comp, kd, comp))
 
+(* Block DAG of the onion fixture, shared by the flow-sweep kernels. *)
+let kernel_dag =
+  lazy
+    (match Lazy.force kernel_onion with
+    | None -> None
+    | Some (h, kd, comp) ->
+      let g = Lazy.force kernel_graph in
+      let dec = Truss.Decompose.run g in
+      let onion = Truss.Onion.peel ~impl:`Csr ~h ~k:kd ~candidates:comp () in
+      Some (Maxtruss.Block_dag.build ~h ~dec ~k:kd ~component:comp ~onion))
+
+(* Synthetic layered flow network (same generator as exp_scaling's Dinic
+   bench) for the raw CSR max-flow kernel: reset + solve per run, nothing
+   rebuilt in the timed region. *)
+let kernel_dinic_net =
+  lazy
+    (let n = 2000 in
+     let rng = Graphcore.Rng.create 4 in
+     let net = Flow.Flow_network.create ~nodes:(n + 2) in
+     let s = n and t = n + 1 in
+     for b = 0 to n - 1 do
+       ignore (Flow.Flow_network.add_arc net ~src:s ~dst:b ~cap:(1 + Graphcore.Rng.int rng 50));
+       ignore (Flow.Flow_network.add_arc net ~src:b ~dst:t ~cap:(1 + Graphcore.Rng.int rng 50))
+     done;
+     for _ = 1 to 3 * n do
+       let a = Graphcore.Rng.int rng n and b = Graphcore.Rng.int rng n in
+       if a <> b then
+         ignore (Flow.Flow_network.add_arc net ~src:a ~dst:b ~cap:(1 + Graphcore.Rng.int rng 10))
+     done;
+     (net, s, t))
+
 let kname kernel = Printf.sprintf "kernels/%s@%s" kernel kernel_dataset
 
 let test_csr_build =
@@ -175,6 +206,36 @@ let test_ref_onion =
            ignore
              (Truss.Onion.peel ~impl:`Hashtbl ~h:(Graphcore.Graph.copy h) ~k:kd
                 ~candidates:comp ())))
+
+(* Parametric g-sweep vs the per-probe rebuild baseline on the fixture DAG.
+   Same probes/weights as PCFR's default sweep; the two engines are
+   bit-identical in output, so this pair is a pure engine-cost comparison
+   (the warm kernel is the perf-gate artifact, the rebuild kernel the
+   reference it must beat). *)
+let test_flow_sweep_warm =
+  Test.make ~name:(kname "flow_sweep_warm")
+    (Staged.stage (fun () ->
+         match Lazy.force kernel_dag with
+         | None -> ()
+         | Some dag ->
+           ignore (Maxtruss.Flow_plan.sweep ~impl:`Parametric ~dag ~w1:1 ~w2:1 ~probes:10 ())))
+
+let test_flow_sweep_rebuild =
+  Test.make ~name:(kname "flow_sweep_rebuild")
+    (Staged.stage (fun () ->
+         match Lazy.force kernel_dag with
+         | None -> ()
+         | Some dag ->
+           ignore (Maxtruss.Flow_plan.sweep ~impl:`Rebuild ~dag ~w1:1 ~w2:1 ~probes:10 ())))
+
+(* Raw CSR Dinic: one zero-flow max-flow solve on a prebuilt 2k-node layered
+   network (reset is a capacity blit, negligible next to the solve). *)
+let test_dinic_csr =
+  Test.make ~name:"kernels/dinic_csr@layered2k"
+    (Staged.stage (fun () ->
+         let net, s, t = Lazy.force kernel_dinic_net in
+         Flow.Flow_network.reset net;
+         ignore (Flow.Dinic.max_flow net ~s ~t)))
 
 (* Domain-parallel variants of the two heaviest CSR kernels under a 2-worker
    pool.  Kept last in the suite so the pool spin-up never perturbs the
@@ -234,6 +295,9 @@ let benchmark ?(quota_s = 1.0) () =
       test_ref_decompose;
       test_csr_onion;
       test_ref_onion;
+      test_flow_sweep_warm;
+      test_flow_sweep_rebuild;
+      test_dinic_csr;
       test_csr_support_par2;
       test_csr_decompose_par2;
     ]

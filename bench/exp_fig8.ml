@@ -51,7 +51,7 @@ let study g dec k =
                 | _ -> best := Some (cost, score)
               end
             end)
-          (Maxtruss.Flow_plan.sweep ~dag ~w1 ~w2 ~probes:10))
+          (Maxtruss.Flow_plan.sweep ~dag ~w1 ~w2 ~probes:10 ()))
       [ (1, 1); (1, 10) ];
     Option.map
       (fun (part_cost, part_score) ->

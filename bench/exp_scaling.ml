@@ -57,7 +57,7 @@ let bench_w_ablation () =
     Printf.printf "%-10s %10s %14s\n" "(w1,w2)" "plans" "distinct h";
     List.iter
       (fun (w1, w2) ->
-        let sels = Maxtruss.Flow_plan.sweep ~dag ~w1 ~w2 ~probes:10 in
+        let sels = Maxtruss.Flow_plan.sweep ~dag ~w1 ~w2 ~probes:10 () in
         let hs = List.sort_uniq compare (List.map (fun s -> s.Maxtruss.Flow_plan.h_score) sels) in
         Printf.printf "(%d,%-3d)    %10d %14d\n%!" w1 w2 (List.length sels) (List.length hs))
       [ (1, 1); (1, 10); (2, 1); (1, 100); (10, 1) ]

@@ -36,6 +36,7 @@ let experiments =
     ("table5", "Table V + Fig. 7: DP quality and time", Exp_dp.run);
     ("fig8", "Fig. 8: case study conversion ratios", Exp_fig8.run);
     ("scaling", "Table III companion: kernel scaling + ablations", Exp_scaling.run);
+    ("flowsweep", "Parametric warm-start vs per-probe rebuild g-sweep", Exp_flow.run);
     ("corevs", "Motivation companion: truss vs core maximization", Exp_core_vs_truss.run);
     ("anchorvs", "Related-work companion: anchoring vs edge insertion", Exp_anchor.run);
     ("weighted", "Extension: weighted insertion budgets", Exp_weighted.run);
@@ -104,6 +105,7 @@ let () =
   let check_alloc_tol = ref 0.5 in
   let check_update = ref false in
   let quota = ref None in
+  let assert_counter = ref None in
   let float_arg flag v =
     match float_of_string_opt v with
     | Some f when f >= 0. -> f
@@ -146,6 +148,12 @@ let () =
     | "--quota" :: v :: rest ->
       quota := Some (float_arg "--quota" v);
       parse only rest
+    | "--assert-counter" :: name :: rest ->
+      (* smoke-test hook: after the selected experiments run, fail unless
+         the named Obs counter is registered and non-zero (implies --obs) *)
+      Obs.set_enabled true;
+      assert_counter := Some name;
+      parse only rest
     | "--domains" :: v :: rest ->
       (match int_of_string_opt v with
       | Some n when n >= 1 -> Par.set_domains n
@@ -154,7 +162,7 @@ let () =
         exit 2);
       parse only rest
     | [ ("--record" | "--check" | "--tol" | "--kmad" | "--alloc-tol" | "--quota"
-        | "--domains" | "--json") as flag ] ->
+        | "--domains" | "--json" | "--assert-counter") as flag ] ->
       Printf.eprintf "%s requires an argument\n" flag;
       exit 2
     | "--obs" :: rest ->
@@ -232,6 +240,17 @@ let () =
     in
     write_json file ~experiments:timings ~kernels);
   if Obs.enabled () then Obs.report stderr;
+  (match !assert_counter with
+  | None -> ()
+  | Some name -> (
+    match List.assoc_opt name (Obs.counters ()) with
+    | Some v when v > 0 -> Printf.printf "counter %s = %d (> 0, ok)\n" name v
+    | Some _ ->
+      Printf.eprintf "counter assertion failed: %s is zero\n" name;
+      exit 1
+    | None ->
+      Printf.eprintf "counter assertion failed: %s was never registered\n" name;
+      exit 1));
   match !check_file with
   | None -> ()
   | Some file -> (

@@ -157,6 +157,14 @@ let algo_arg =
   let doc = "Algorithm: pcfr (default), pcf, pcr, cbtm, rd or gtm." in
   Arg.(value & opt (enum algos) `Pcfr & info [ "algo" ] ~docv:"ALGO" ~doc)
 
+let g_probes_arg =
+  let doc =
+    "Min-cut evaluations per g-sweep (sweep depth of the parametric flow engine); \
+     the paper uses 10.  Only meaningful for the flow-based algorithms \
+     (pcfr, pcf)."
+  in
+  Arg.(value & opt int 10 & info [ "g-probes" ] ~docv:"N" ~doc)
+
 let plan_out =
   let doc = "Write the insertion plan (one `u v` per line) to this file." in
   Arg.(value & opt (some string) None & info [ "plan" ] ~docv:"FILE" ~doc)
@@ -184,7 +192,7 @@ let print_levels levels =
   end
 
 let maximize_cmd =
-  let run input dataset k budget seed domains algo plan_out stats metrics trace =
+  let run input dataset k budget seed domains g_probes algo plan_out stats metrics trace =
     match load_graph input dataset with
     | Error e ->
       Printf.eprintf "%s\n" e;
@@ -202,6 +210,10 @@ let maximize_cmd =
         Printf.eprintf "a truss number k >= 3 is required (--k)\n";
         1
       end
+      else if g_probes < 1 then begin
+        Printf.eprintf "--g-probes must be at least 1\n";
+        1
+      end
       else begin
         if stats || metrics <> None || trace <> None then Obs.set_enabled true;
         let outcome, levels =
@@ -209,9 +221,9 @@ let maximize_cmd =
             (r.Maxtruss.Pcfr.outcome, r.Maxtruss.Pcfr.levels)
           in
           match algo with
-          | `Pcfr -> of_result (Maxtruss.Pcfr.pcfr ~seed ~g ~k ~budget ())
-          | `Pcf -> of_result (Maxtruss.Pcfr.pcf ~seed ~g ~k ~budget ())
-          | `Pcr -> of_result (Maxtruss.Pcfr.pcr ~seed ~g ~k ~budget ())
+          | `Pcfr -> of_result (Maxtruss.Pcfr.pcfr ~seed ~g_probes ~g ~k ~budget ())
+          | `Pcf -> of_result (Maxtruss.Pcfr.pcf ~seed ~g_probes ~g ~k ~budget ())
+          | `Pcr -> of_result (Maxtruss.Pcfr.pcr ~seed ~g_probes ~g ~k ~budget ())
           | `Cbtm -> (Maxtruss.Baselines.cbtm ~g ~k ~budget, [])
           | `Rd -> (Maxtruss.Baselines.rd ~rng:(Graphcore.Rng.create seed) ~g ~k ~budget, [])
           | `Gtm -> (Maxtruss.Baselines.gtm ~g ~k ~budget (), [])
@@ -252,7 +264,7 @@ let maximize_cmd =
     (Cmd.info "maximize" ~doc:"Run truss maximization and print/export the insertion plan")
     Term.(
       const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ domains_arg
-      $ algo_arg $ plan_out $ stats_flag $ metrics_out $ trace_out)
+      $ g_probes_arg $ algo_arg $ plan_out $ stats_flag $ metrics_out $ trace_out)
 
 (* obsdiff: aligned span-tree diff between two metrics JSON exports *)
 

@@ -1,10 +1,21 @@
 (** Dinic's maximum-flow algorithm.
 
     Builds level graphs by BFS and saturates them with blocking flows found
-    by DFS with the current-arc optimization; O(V^2 E) in general and far
-    faster on the shallow truss flow graphs (source -> blocks -> sink, plus
-    the block DAG), which have unit-depth layering. *)
+    by an explicit-stack DFS with the current-arc optimization, both running
+    over the network's frozen CSR layout with zero per-phase allocation;
+    O(V^2 E) in general and far faster on the shallow truss flow graphs
+    (source -> blocks -> sink, plus the block DAG), which have unit-depth
+    layering.  The iterative DFS cannot overflow the OCaml stack however
+    deep the level graph. *)
 
 val max_flow : Flow_network.t -> s:int -> t:int -> int
 (** Computes the maximum s-t flow, mutating residual capacities in the
-    network.  Returns the flow value. *)
+    network.  Returns the flow value.  On a network already carrying a
+    feasible flow (e.g. after {!Flow_network.set_cap} raised capacities),
+    this computes exactly the increment to a maximum flow — the GGT-style
+    warm start {!Parametric} builds on. *)
+
+val max_flow_ext : Flow_network.t -> s:int -> t:int -> int * int
+(** Same, also returning the number of BFS phases run (level-graph builds,
+    including the final one that fails to reach [t]) — the work measure the
+    parametric warm-start counters report. *)

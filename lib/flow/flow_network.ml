@@ -1,28 +1,58 @@
-type arc = { dst : int; mutable cap : int }
+(* Flat CSR arc storage.  Arcs live in parallel int arrays (destination,
+   residual capacity, initial capacity) indexed by arc id, with the twin at
+   [id lxor 1]; the per-node adjacency is a frozen CSR ([first_out]/[adj])
+   rebuilt lazily after the last [add_arc].  The tail of any arc is
+   recoverable as [arc_dst (id lxor 1)], so no per-arc source array is
+   needed.  Plain int arrays also remove the record-cell aliasing hazard the
+   previous [arc array] growth path carried ([Array.make n cell] shares one
+   mutable record across every fresh slot). *)
 
 type t = {
   nodes : int;
-  mutable arcs : arc array;
-  mutable init_caps : int array;
+  mutable arc_dst : int array;
+  mutable arc_cap : int array;  (* residual *)
+  mutable arc_init : int array;
   mutable n_arcs : int;
-  out_arcs : int list array; (* arc ids leaving each node, reversed order *)
+  out_deg : int array;  (* arcs (forward + twin) leaving each node *)
+  mutable first_out : int array;  (* CSR offsets, length nodes+1 when frozen *)
+  mutable adj : int array;  (* arc ids grouped by tail node, ascending id *)
+  mutable frozen : bool;
+}
+
+type internals = {
+  i_dst : int array;
+  i_cap : int array;
+  i_first_out : int array;
+  i_adj : int array;
 }
 
 let create ~nodes =
-  { nodes; arcs = [||]; init_caps = [||]; n_arcs = 0; out_arcs = Array.make (max nodes 1) [] }
+  {
+    nodes;
+    arc_dst = [||];
+    arc_cap = [||];
+    arc_init = [||];
+    n_arcs = 0;
+    out_deg = Array.make (max nodes 1) 0;
+    first_out = [||];
+    adj = [||];
+    frozen = false;
+  }
 
 let num_nodes t = t.nodes
 
 let grow t =
-  let cap = Array.length t.arcs in
+  let cap = Array.length t.arc_dst in
   if t.n_arcs + 2 > cap then begin
     let ncap = max 16 (2 * cap) in
-    let narcs = Array.make ncap { dst = 0; cap = 0 } in
-    let ninit = Array.make ncap 0 in
-    Array.blit t.arcs 0 narcs 0 t.n_arcs;
-    Array.blit t.init_caps 0 ninit 0 t.n_arcs;
-    t.arcs <- narcs;
-    t.init_caps <- ninit
+    let extend a =
+      let na = Array.make ncap 0 in
+      Array.blit a 0 na 0 t.n_arcs;
+      na
+    in
+    t.arc_dst <- extend t.arc_dst;
+    t.arc_cap <- extend t.arc_cap;
+    t.arc_init <- extend t.arc_init
   end
 
 let add_arc t ~src ~dst ~cap =
@@ -31,33 +61,86 @@ let add_arc t ~src ~dst ~cap =
     invalid_arg "Flow_network.add_arc: node out of range";
   grow t;
   let id = t.n_arcs in
-  t.arcs.(id) <- { dst; cap };
-  t.init_caps.(id) <- cap;
-  t.arcs.(id + 1) <- { dst = src; cap = 0 };
-  t.init_caps.(id + 1) <- 0;
+  t.arc_dst.(id) <- dst;
+  t.arc_cap.(id) <- cap;
+  t.arc_init.(id) <- cap;
+  t.arc_dst.(id + 1) <- src;
+  t.arc_cap.(id + 1) <- 0;
+  t.arc_init.(id + 1) <- 0;
   t.n_arcs <- t.n_arcs + 2;
-  t.out_arcs.(src) <- id :: t.out_arcs.(src);
-  t.out_arcs.(dst) <- (id + 1) :: t.out_arcs.(dst);
+  t.out_deg.(src) <- t.out_deg.(src) + 1;
+  t.out_deg.(dst) <- t.out_deg.(dst) + 1;
+  t.frozen <- false;
   id
 
-let arc t id = t.arcs.(id)
+let freeze t =
+  if not t.frozen then begin
+    let n = t.nodes in
+    let fo = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      fo.(v + 1) <- fo.(v) + t.out_deg.(v)
+    done;
+    let pos = Array.sub fo 0 n in
+    let adj = Array.make (max t.n_arcs 1) 0 in
+    for id = 0 to t.n_arcs - 1 do
+      let v = t.arc_dst.(id lxor 1) in
+      adj.(pos.(v)) <- id;
+      pos.(v) <- pos.(v) + 1
+    done;
+    t.first_out <- fo;
+    t.adj <- adj;
+    t.frozen <- true
+  end
+
+let internals t =
+  freeze t;
+  { i_dst = t.arc_dst; i_cap = t.arc_cap; i_first_out = t.first_out; i_adj = t.adj }
+
+let arc_dst t id = t.arc_dst.(id)
+
+let arc_cap t id = t.arc_cap.(id)
+
+let arc_src t id = t.arc_dst.(id lxor 1)
+
+let initial_cap t id = t.arc_init.(id)
 
 let send t id amount =
-  let a = t.arcs.(id) in
-  if amount > a.cap then invalid_arg "Flow_network.send: exceeds residual capacity";
-  a.cap <- a.cap - amount;
-  let twin = t.arcs.(id lxor 1) in
-  twin.cap <- twin.cap + amount
+  if amount > t.arc_cap.(id) then
+    invalid_arg "Flow_network.send: exceeds residual capacity";
+  t.arc_cap.(id) <- t.arc_cap.(id) - amount;
+  let twin = id lxor 1 in
+  t.arc_cap.(twin) <- t.arc_cap.(twin) + amount
 
-let arc_src t id = t.arcs.(id lxor 1).dst
+let set_cap t id cap =
+  if cap < 0 then invalid_arg "Flow_network.set_cap: negative capacity";
+  let delta = cap - t.arc_init.(id) in
+  let residual = t.arc_cap.(id) + delta in
+  if residual < 0 then invalid_arg "Flow_network.set_cap: below committed flow";
+  t.arc_init.(id) <- cap;
+  t.arc_cap.(id) <- residual
 
-let initial_cap t id = t.init_caps.(id)
-
-let iter_arcs_from t v f = List.iter (fun id -> f id t.arcs.(id)) t.out_arcs.(v)
+let iter_arcs_from t v f =
+  freeze t;
+  let adj = t.adj in
+  for i = t.first_out.(v) to t.first_out.(v + 1) - 1 do
+    f adj.(i)
+  done
 
 let num_arcs t = t.n_arcs
 
-let reset t =
-  for id = 0 to t.n_arcs - 1 do
-    t.arcs.(id).cap <- t.init_caps.(id)
-  done
+let reset t = Array.blit t.arc_init 0 t.arc_cap 0 t.n_arcs
+
+type snapshot = { s_n_arcs : int; s_cap : int array; s_init : int array }
+
+let snapshot t =
+  {
+    s_n_arcs = t.n_arcs;
+    s_cap = Array.sub t.arc_cap 0 t.n_arcs;
+    s_init = Array.sub t.arc_init 0 t.n_arcs;
+  }
+
+let restore t s =
+  if s.s_n_arcs <> t.n_arcs then
+    invalid_arg "Flow_network.restore: snapshot from a different arc set";
+  Array.blit s.s_cap 0 t.arc_cap 0 s.s_n_arcs;
+  Array.blit s.s_init 0 t.arc_init 0 s.s_n_arcs

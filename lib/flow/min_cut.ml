@@ -21,44 +21,52 @@ let compute net ~s ~t =
   Queue.push s queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Flow_network.iter_arcs_from net v (fun _ (arc : Flow_network.arc) ->
-        if arc.cap > 0 && not side.(arc.dst) then begin
-          side.(arc.dst) <- true;
-          Queue.push arc.dst queue
+    Flow_network.iter_arcs_from net v (fun id ->
+        let d = Flow_network.arc_dst net id in
+        if Flow_network.arc_cap net id > 0 && not side.(d) then begin
+          side.(d) <- true;
+          Queue.push d queue
         end)
   done;
   { value; source_side = side }
 
-let compute_max net ~s ~t =
-  let value = Dinic.max_flow net ~s ~t in
+let extract_max net ~t ~value =
   record value;
   let n = Flow_network.num_nodes net in
   (* Reverse BFS from t: x reaches t through residual arc (x, w) iff that
-     arc — stored as the twin of some arc leaving w — has capacity left. *)
+     arc — stored as the twin of some arc leaving w — has capacity left.
+     The set of nodes that reach t is the same for every maximum flow (the
+     min-cut family forms a lattice), so the reported side is independent
+     of how the flow was obtained — from scratch or warm-started. *)
   let reaches_t = Array.make n false in
   reaches_t.(t) <- true;
   let queue = Queue.create () in
   Queue.push t queue;
   while not (Queue.is_empty queue) do
     let w = Queue.pop queue in
-    Flow_network.iter_arcs_from net w (fun id (arc : Flow_network.arc) ->
-        let twin = Flow_network.arc net (id lxor 1) in
-        (* twin runs arc.dst -> w; residual capacity there lets arc.dst
-           reach t through w *)
-        if twin.cap > 0 && not reaches_t.(arc.dst) then begin
-          reaches_t.(arc.dst) <- true;
-          Queue.push arc.dst queue
+    Flow_network.iter_arcs_from net w (fun id ->
+        (* the twin runs arc_dst id -> w; residual capacity there lets
+           arc_dst id reach t through w *)
+        let d = Flow_network.arc_dst net id in
+        if Flow_network.arc_cap net (id lxor 1) > 0 && not reaches_t.(d) then begin
+          reaches_t.(d) <- true;
+          Queue.push d queue
         end)
   done;
   { value; source_side = Array.map not reaches_t }
+
+let compute_max net ~s ~t =
+  let value = Dinic.max_flow net ~s ~t in
+  extract_max net ~t ~value
 
 let cut_arcs net cut =
   let acc = ref [] in
   let n = Flow_network.num_nodes net in
   for v = 0 to n - 1 do
     if cut.source_side.(v) then
-      Flow_network.iter_arcs_from net v (fun id (arc : Flow_network.arc) ->
+      Flow_network.iter_arcs_from net v (fun id ->
           (* Only original forward arcs (even ids) count as cut members. *)
-          if id land 1 = 0 && not cut.source_side.(arc.dst) then acc := id :: !acc)
+          if id land 1 = 0 && not cut.source_side.(Flow_network.arc_dst net id) then
+            acc := id :: !acc)
   done;
   !acc

@@ -13,6 +13,21 @@ let g_max ~dag ~w1 ~w2 =
   + (w1 * dag.Block_dag.max_layer)
   + (w2 * dag.Block_dag.max_block_size)
 
+let selection_of_cut ~dag ~g (cut : Flow.Min_cut.t) =
+  let blocks = ref [] and h = ref 0 in
+  for b = dag.Block_dag.n_blocks - 1 downto 0 do
+    if cut.Flow.Min_cut.source_side.(b) then begin
+      blocks := b :: !blocks;
+      h := !h + Array.length dag.Block_dag.edges_of.(b)
+    end
+  done;
+  { g_param = g; blocks = !blocks; h_score = !h; cut_value = cut.Flow.Min_cut.value }
+
+let gate_offset ~dag ~w1 ~w2 b =
+  (w1 * dag.Block_dag.layer.(b))
+  + (w2 * Array.length dag.Block_dag.edges_of.(b))
+  + dag.Block_dag.out_weight.(b)
+
 let min_cut_selection ~dag ~w1 ~w2 ~g =
   let open Block_dag in
   let n = dag.n_blocks in
@@ -21,34 +36,55 @@ let min_cut_selection ~dag ~w1 ~w2 ~g =
   let q = dag.total_link_weight in
   for b = 0 to n - 1 do
     ignore (Flow.Flow_network.add_arc net ~src:s ~dst:b ~cap:q);
-    let gate = g - (w1 * dag.layer.(b)) - (w2 * Array.length dag.edges_of.(b)) - dag.out_weight.(b) in
-    let cap = dag.base_sink.(b) + max 0 gate in
+    let cap = dag.base_sink.(b) + max 0 (g - gate_offset ~dag ~w1 ~w2 b) in
     if cap > 0 then ignore (Flow.Flow_network.add_arc net ~src:b ~dst:t ~cap)
   done;
   Array.iter
     (fun (src, dst, w) -> ignore (Flow.Flow_network.add_arc net ~src ~dst ~cap:w))
     dag.links;
   let cut = Flow.Min_cut.compute_max net ~s ~t in
-  let blocks = ref [] and h = ref 0 in
-  for b = n - 1 downto 0 do
-    if cut.Flow.Min_cut.source_side.(b) then begin
-      blocks := b :: !blocks;
-      h := !h + Array.length dag.edges_of.(b)
-    end
-  done;
-  { g_param = g; blocks = !blocks; h_score = !h; cut_value = cut.Flow.Min_cut.value }
+  selection_of_cut ~dag ~g cut
 
-let sweep ~dag ~w1 ~w2 ~probes =
+(* One parametric network per (dag, w1, w2) sweep: source and link arcs are
+   built exactly once; the block->sink gates are declared with their
+   (base, offset) parameterization and retuned per probe by
+   {!Flow.Parametric.solve}.  Gates are added even when their capacity at
+   the current g would be 0 — a zero-capacity arc carries no flow and adds
+   no residual reachability, so the cut is unchanged, and the arc is there
+   to open up at higher g. *)
+let parametric_net ~dag ~w1 ~w2 =
+  let open Block_dag in
+  let n = dag.n_blocks in
+  let s = n and t = n + 1 in
+  let p = Flow.Parametric.create ~nodes:(n + 2) ~source:s ~sink:t in
+  let q = dag.total_link_weight in
+  for b = 0 to n - 1 do
+    Flow.Parametric.add_arc p ~src:s ~dst:b ~cap:q;
+    Flow.Parametric.add_gate p ~src:b ~base:dag.base_sink.(b)
+      ~offset:(gate_offset ~dag ~w1 ~w2 b)
+  done;
+  Array.iter
+    (fun (src, dst, w) -> Flow.Parametric.add_arc p ~src ~dst ~cap:w)
+    dag.links;
+  p
+
+let sweep ?(impl = `Parametric) ~dag ~w1 ~w2 ~probes () =
   if dag.Block_dag.n_blocks = 0 then []
   else
     Obs.Span.with_ "flow_plan.sweep" @@ fun () ->
     let seen = Hashtbl.create 16 in
     let results = ref [] in
     let budget = ref probes in
+    let pnet = lazy (parametric_net ~dag ~w1 ~w2) in
     let eval g =
       decr budget;
       Obs.Counter.incr c_probes;
-      let sel = min_cut_selection ~dag ~w1 ~w2 ~g in
+      let sel =
+        match impl with
+        | `Rebuild -> min_cut_selection ~dag ~w1 ~w2 ~g
+        | `Parametric ->
+          selection_of_cut ~dag ~g (Flow.Parametric.solve (Lazy.force pnet) ~g)
+      in
       let signature = String.concat "," (List.map string_of_int sel.blocks) in
       if (not (Hashtbl.mem seen signature)) && sel.blocks <> [] then begin
         Hashtbl.replace seen signature ();
@@ -64,9 +100,13 @@ let sweep ~dag ~w1 ~w2 ~probes =
        monotone (Lemma 1), so equal h at both ends means nothing new in
        between.  Always split the interval with the largest h gap first —
        breadth-first splitting wastes the probe budget teasing apart
-       near-identical plateaus at one end of the range. *)
+       near-identical plateaus at one end of the range — and break gap ties
+       toward the lowest-g interval, so probes inside one split run in
+       ascending g and land on the parametric engine's warm path. *)
     let heap =
-      Min_heap.create ~cmp:(fun (ga, _, _, _, _) (gb, _, _, _, _) -> Int.compare gb ga)
+      Min_heap.create
+        ~cmp:(fun (ga, gla, _, _, _) (gb, glb, _, _, _) ->
+          if ga <> gb then Int.compare gb ga else Int.compare gla glb)
     in
     let push glo hlo ghi hhi =
       if hlo > hhi && ghi - glo > 1 then Min_heap.push heap (hlo - hhi, glo, hlo, ghi, hhi)

@@ -24,6 +24,22 @@ val g_max : dag:Block_dag.t -> w1:int -> w2:int -> int
 (** Gate value guaranteed to empty the selection:
     [2q + w1*Lmax + w2*Bmax]. *)
 
-val sweep : dag:Block_dag.t -> w1:int -> w2:int -> probes:int -> selection list
+val sweep :
+  ?impl:[ `Parametric | `Rebuild ] ->
+  dag:Block_dag.t ->
+  w1:int ->
+  w2:int ->
+  probes:int ->
+  unit ->
+  selection list
 (** Bisection sweep using at most [probes] cut computations; returns the
-    distinct non-empty selections found, largest [h_score] first. *)
+    distinct non-empty selections found, largest [h_score] first.
+
+    [?impl] selects the flow engine — the two are bit-identical in output
+    (property-tested), differing only in cost:
+    - [`Parametric] (default): one {!Flow.Parametric} network per sweep;
+      probes retune gate capacities and warm-start Dinic from the retained
+      flow (see [parametric.*] counters).
+    - [`Rebuild]: the pre-parametric reference path — every probe rebuilds
+      the network and solves from zero flow.  Kept as the equivalence and
+      benchmark baseline. *)

@@ -81,7 +81,7 @@ let flow_selections ~ctx ~dec ~config ~component =
               Hashtbl.replace seen signature ();
               true
             end)
-          (Flow_plan.sweep ~dag ~w1 ~w2 ~probes:config.g_probes))
+          (Flow_plan.sweep ~dag ~w1 ~w2 ~probes:config.g_probes ()))
       config.w_pairs
   in
   (* Conversion dominates the cost; convert at most ~1.5x g_probes
@@ -303,10 +303,17 @@ let run config g =
     levels = List.rev !levels;
   }
 
-let pcfr ?(seed = 42) ~g ~k ~budget () = run { (default_config ~k ~budget) with seed } g
+let with_g_probes config = function
+  | None -> config
+  | Some p ->
+    if p < 1 then invalid_arg "Pcfr: g_probes must be positive";
+    { config with g_probes = p }
 
-let pcf ?(seed = 42) ~g ~k ~budget () =
-  run { (default_config ~k ~budget) with seed; use_random = false } g
+let pcfr ?(seed = 42) ?g_probes ~g ~k ~budget () =
+  run (with_g_probes { (default_config ~k ~budget) with seed } g_probes) g
 
-let pcr ?(seed = 42) ~g ~k ~budget () =
-  run { (default_config ~k ~budget) with seed; use_flow = false } g
+let pcf ?(seed = 42) ?g_probes ~g ~k ~budget () =
+  run (with_g_probes { (default_config ~k ~budget) with seed; use_random = false } g_probes) g
+
+let pcr ?(seed = 42) ?g_probes ~g ~k ~budget () =
+  run (with_g_probes { (default_config ~k ~budget) with seed; use_flow = false } g_probes) g

@@ -49,9 +49,16 @@ type result = { outcome : Outcome.t; levels : level_stat list }
 val run : config -> Graph.t -> result
 (** [g] is not modified. *)
 
-val pcfr : ?seed:int -> g:Graph.t -> k:int -> budget:int -> unit -> result
-val pcf : ?seed:int -> g:Graph.t -> k:int -> budget:int -> unit -> result
-val pcr : ?seed:int -> g:Graph.t -> k:int -> budget:int -> unit -> result
+val pcfr :
+  ?seed:int -> ?g_probes:int -> g:Graph.t -> k:int -> budget:int -> unit -> result
+
+val pcf :
+  ?seed:int -> ?g_probes:int -> g:Graph.t -> k:int -> budget:int -> unit -> result
+
+val pcr :
+  ?seed:int -> ?g_probes:int -> g:Graph.t -> k:int -> budget:int -> unit -> result
+(** [?g_probes] overrides {!config.g_probes} (min-cut evaluations per
+    sweep; default 10, must be >= 1). *)
 
 val component_revenue :
   rng:Rng.t ->

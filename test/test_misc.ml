@@ -59,7 +59,7 @@ let test_sweep_records_g_param () =
     (fun sel ->
       Alcotest.(check bool) "g in range" true
         (sel.Flow_plan.g_param >= 0 && sel.Flow_plan.g_param <= gmax))
-    (Flow_plan.sweep ~dag ~w1:1 ~w2:1 ~probes:10)
+    (Flow_plan.sweep ~dag ~w1:1 ~w2:1 ~probes:10 ())
 
 let test_convert_counters_nonnegative () =
   let g = Helpers.fig1 () in
