@@ -18,13 +18,22 @@
      dune exec bench/main.exe -- --list
 
    --record re-runs the Bechamel kernel suite and writes the median/MAD/
-   alloc baseline (schema: METRICS_SCHEMA.md § baseline); --check compares
-   a fresh run against such a file and exits 1 when any kernel's fresh
-   median exceeds baseline + max(tol * baseline, kmad * MAD) — a per-entry
-   "tol" in the baseline overrides the global --tol — or when its fresh
-   allocation exceeds baseline + max(alloc-tol * baseline, 4096w).
-   --check --update instead re-records exactly the regressed kernels
-   (keeping their tol overrides), appends new ones, and exits 0. *)
+   alloc baseline (schema: METRICS_SCHEMA.md § baseline); when the file
+   already exists its previous entries are pushed into a bounded history
+   (last --history N runs, default 8).  --check compares a fresh run
+   against the trend across that history (median of the per-run medians —
+   one lucky or descheduled recording run moves the gate by at most one
+   rank) and exits 1 when any kernel's fresh median exceeds
+   trend + max(tol * trend, kmad * MAD) — a per-entry "tol" in the
+   baseline overrides the global --tol — or when its fresh allocation
+   exceeds trend + max(alloc-tol * trend, 4096w).  --check --update
+   instead re-records exactly the regressed kernels (keeping their tol
+   overrides), appends new ones, and exits 0.
+
+   --openmetrics FILE writes the obs registry as OpenMetrics text after
+   the run (implies --obs); --assert-openmetrics additionally fails the
+   process unless that export parses line-by-line and carries at least one
+   histogram _bucket series (the bench-smoke CI assertion). *)
 
 let experiments =
   [
@@ -106,6 +115,9 @@ let () =
   let check_update = ref false in
   let quota = ref None in
   let assert_counter = ref None in
+  let history_limit = ref Perf_baseline.default_history_limit in
+  let openmetrics_file = ref None in
+  let assert_openmetrics = ref false in
   let float_arg flag v =
     match float_of_string_opt v with
     | Some f when f >= 0. -> f
@@ -145,6 +157,23 @@ let () =
     | "--update" :: rest ->
       check_update := true;
       parse only rest
+    | "--history" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n when n >= 0 -> history_limit := n
+      | _ ->
+        Printf.eprintf "--history expects a non-negative integer, got %S\n" v;
+        exit 2);
+      parse only rest
+    | "--openmetrics" :: file :: rest ->
+      openmetrics_file := Some file;
+      Obs.set_enabled true;
+      parse only rest
+    | "--assert-openmetrics" :: rest ->
+      (* smoke-test hook: after the run, fail unless the OpenMetrics export
+         parses and has at least one histogram _bucket series (implies --obs) *)
+      assert_openmetrics := true;
+      Obs.set_enabled true;
+      parse only rest
     | "--quota" :: v :: rest ->
       quota := Some (float_arg "--quota" v);
       parse only rest
@@ -162,7 +191,8 @@ let () =
         exit 2);
       parse only rest
     | [ ("--record" | "--check" | "--tol" | "--kmad" | "--alloc-tol" | "--quota"
-        | "--domains" | "--json" | "--assert-counter") as flag ] ->
+        | "--domains" | "--json" | "--assert-counter" | "--history" | "--openmetrics")
+        as flag ] ->
       Printf.eprintf "%s requires an argument\n" flag;
       exit 2
     | "--obs" :: rest ->
@@ -208,14 +238,26 @@ let () =
             Perf_baseline.of_samples ~name:kr.Bechamel_suite.kr_name
               ~ns:kr.Bechamel_suite.kr_ns ~alloc_w:kr.Bechamel_suite.kr_alloc_w ())
           kernel_runs;
+      Perf_baseline.history = [];
     }
   in
   (match !record_file with
   | None -> ()
   | Some file -> (
+    (* Re-recording over an existing baseline keeps its previous runs as a
+       bounded history, so --check can gate against the trend.  A file that
+       does not exist (or no longer parses) starts a fresh history. *)
+    let updated =
+      match Perf_baseline.read file with
+      | Ok previous ->
+        Perf_baseline.push ~limit:!history_limit previous ~fresh:(fresh_baseline ())
+      | Error _ -> fresh_baseline ()
+    in
     try
-      Perf_baseline.write file (fresh_baseline ());
-      Printf.printf "wrote baseline %s (%d kernels)\n" file (List.length kernel_runs)
+      Perf_baseline.write file updated;
+      Printf.printf "wrote baseline %s (%d kernels, %d historical run(s))\n" file
+        (List.length kernel_runs)
+        (List.length updated.Perf_baseline.history)
     with Sys_error msg ->
       Printf.eprintf "cannot write %s: %s\n" file msg;
       exit 1));
@@ -240,6 +282,61 @@ let () =
     in
     write_json file ~experiments:timings ~kernels);
   if Obs.enabled () then Obs.report stderr;
+  (match !openmetrics_file with
+  | None -> ()
+  | Some file -> (
+    try
+      Obs.write_openmetrics file;
+      Printf.printf "wrote %s\n" file
+    with Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" file msg;
+      exit 1));
+  if !assert_openmetrics then begin
+    (* Minimal exposition-format validation: every line is a comment or a
+       `name[{labels}] value` sample with a numeric value, the export ends
+       with `# EOF`, and at least one histogram _bucket series exists. *)
+    let text = Obs.openmetrics () in
+    let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+    let sample_ok line =
+      String.length line > 0
+      && (line.[0] = '#'
+         ||
+         match String.rindex_opt line ' ' with
+         | None -> false
+         | Some i ->
+           let value = String.sub line (i + 1) (String.length line - i - 1) in
+           let series = String.sub line 0 i in
+           series <> ""
+           && (value = "+Inf" || float_of_string_opt value <> None)
+           && (match String.index_opt series '{' with
+              | Some j -> series.[String.length series - 1] = '}' && j > 0
+              | None -> true))
+    in
+    let bad = List.filter (fun l -> not (sample_ok l)) lines in
+    let has_bucket =
+      List.exists
+        (fun l ->
+          match String.index_opt l '{' with
+          | Some j when j >= 7 -> String.sub l (j - 7) 7 = "_bucket"
+          | _ -> false)
+        lines
+    in
+    let ends_eof = match List.rev lines with "# EOF" :: _ -> true | _ -> false in
+    if bad <> [] then begin
+      Printf.eprintf "openmetrics assertion failed: malformed line %S\n" (List.hd bad);
+      exit 1
+    end;
+    if not ends_eof then begin
+      Printf.eprintf "openmetrics assertion failed: missing # EOF terminator\n";
+      exit 1
+    end;
+    if not has_bucket then begin
+      Printf.eprintf "openmetrics assertion failed: no _bucket series in export\n";
+      exit 1
+    end;
+    Printf.printf "openmetrics export ok: %d lines, _bucket series present\n"
+      (List.length lines)
+  end;
   (match !assert_counter with
   | None -> ()
   | Some name -> (
@@ -260,9 +357,16 @@ let () =
       exit 1
     | Ok baseline ->
       let fresh = fresh_baseline () in
+      (* Gate against the trend across the recorded history (a no-op for
+         single-run v1/v2 files, whose trend is themselves). *)
+      if baseline.Perf_baseline.history <> [] then
+        Printf.printf "perf gate: comparing against the trend of %d recorded run(s)\n"
+          (List.length baseline.Perf_baseline.history + 1);
       let deltas =
         Perf_baseline.compare ~rel_tol:!check_tol ~mad_k:!check_kmad
-          ~alloc_tol:!check_alloc_tol ~baseline ~fresh ()
+          ~alloc_tol:!check_alloc_tol
+          ~baseline:(Perf_baseline.trend baseline)
+          ~fresh ()
       in
       Perf_baseline.print_table stdout deltas;
       let regs = Perf_baseline.regressions deltas in
@@ -303,7 +407,7 @@ let () =
                   Hashtbl.find_opt fresh_tbl d.Perf_baseline.d_name)
                 added
           in
-          (try Perf_baseline.write file { Perf_baseline.entries }
+          (try Perf_baseline.write file { baseline with Perf_baseline.entries }
            with Sys_error msg ->
              Printf.eprintf "cannot write %s: %s\n" file msg;
              exit 1);

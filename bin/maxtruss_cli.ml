@@ -181,6 +181,47 @@ let trace_out =
   let doc = "Write a Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) to this file." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let openmetrics_out =
+  let doc =
+    "Write the observability registry (counters, gauges, span-duration histograms) as \
+     OpenMetrics/Prometheus text to this file."
+  in
+  Arg.(value & opt (some string) None & info [ "openmetrics" ] ~docv:"FILE" ~doc)
+
+let flight_record_arg =
+  let doc =
+    "Keep a ring of the last $(docv) completed spans and dump them as Chrome-trace JSON \
+     at exit or on SIGTERM/SIGINT — a post-mortem tail for hung or killed runs. \
+     Default: $(b,MAXTRUSS_FLIGHT_RECORD) or off."
+  in
+  Arg.(value & opt int 0 & info [ "flight-record" ] ~docv:"N" ~doc)
+
+let flight_dump_arg =
+  let doc = "Where --flight-record writes its dump." in
+  Arg.(
+    value
+    & opt string "maxtruss-flight.json"
+    & info [ "flight-dump" ] ~docv:"FILE" ~doc)
+
+(* --flight-record N beats MAXTRUSS_FLIGHT_RECORD beats off.  Recording
+   needs the obs layer on (cells are filled at span close), so a non-zero
+   capacity enables it. *)
+let setup_flight_recorder ~capacity ~dump =
+  let capacity =
+    if capacity > 0 then capacity
+    else
+      match Sys.getenv_opt "MAXTRUSS_FLIGHT_RECORD" with
+      | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 0)
+      | None -> 0
+  in
+  if capacity > 0 then begin
+    Obs.set_enabled true;
+    Obs.Flight_recorder.configure ~capacity;
+    Obs.Flight_recorder.set_dump_path (Some dump);
+    Obs.Flight_recorder.install_crash_hooks ();
+    Printf.eprintf "[obs] flight recorder on: last %d spans -> %s\n%!" capacity dump
+  end
+
 let print_levels levels =
   if levels <> [] then begin
     Printf.printf "%-6s %12s %8s %10s %8s\n" "h" "components" "plans" "inserted" "gain";
@@ -192,7 +233,8 @@ let print_levels levels =
   end
 
 let maximize_cmd =
-  let run input dataset k budget seed domains g_probes algo plan_out stats metrics trace =
+  let run input dataset k budget seed domains g_probes algo plan_out stats metrics trace
+      openmetrics flight_record flight_dump =
     match load_graph input dataset with
     | Error e ->
       Printf.eprintf "%s\n" e;
@@ -215,7 +257,9 @@ let maximize_cmd =
         1
       end
       else begin
-        if stats || metrics <> None || trace <> None then Obs.set_enabled true;
+        if stats || metrics <> None || trace <> None || openmetrics <> None then
+          Obs.set_enabled true;
+        setup_flight_recorder ~capacity:flight_record ~dump:flight_dump;
         let outcome, levels =
           let of_result (r : Maxtruss.Pcfr.result) =
             (r.Maxtruss.Pcfr.outcome, r.Maxtruss.Pcfr.levels)
@@ -257,6 +301,10 @@ let maximize_cmd =
         (match trace with
         | Some path -> write path ~what:"trace" (fun () -> Obs.write_chrome_trace path)
         | None -> ());
+        (match openmetrics with
+        | Some path ->
+          write path ~what:"openmetrics" (fun () -> Obs.write_openmetrics path)
+        | None -> ());
         if !ok then 0 else 1
       end
   in
@@ -264,7 +312,8 @@ let maximize_cmd =
     (Cmd.info "maximize" ~doc:"Run truss maximization and print/export the insertion plan")
     Term.(
       const run $ input $ dataset_opt $ k_arg $ budget_arg $ seed_arg $ domains_arg
-      $ g_probes_arg $ algo_arg $ plan_out $ stats_flag $ metrics_out $ trace_out)
+      $ g_probes_arg $ algo_arg $ plan_out $ stats_flag $ metrics_out $ trace_out
+      $ openmetrics_out $ flight_record_arg $ flight_dump_arg)
 
 (* obsdiff: aligned span-tree diff between two metrics JSON exports *)
 
@@ -273,11 +322,14 @@ type span_row = {
   r_self_s : float;
   r_self_alloc_w : float;
   r_alloc_w : float;
+  r_p50_s : float;
+  r_p99_s : float;
   r_counters : (string * float) list;
 }
 
-(* Accepts a --metrics export (v1 or v2; v1 rows default the alloc fields
-   to 0) or a bench --json report carrying the same object under "obs". *)
+(* Accepts a --metrics export (v1..v3; older rows default the alloc fields
+   and the v3 quantiles to 0) or a bench --json report carrying the same
+   object under "obs". *)
 let load_metrics path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error msg
@@ -314,6 +366,8 @@ let load_metrics path =
                        r_self_s = Json_min.(num_or 0. (member "self_s" sp));
                        r_self_alloc_w = Json_min.(num_or 0. (member "self_alloc_w" sp));
                        r_alloc_w = Json_min.(num_or 0. (member "alloc_w" sp));
+                       r_p50_s = Json_min.(num_or 0. (member "p50_s" sp));
+                       r_p99_s = Json_min.(num_or 0. (member "p99_s" sp));
                        r_counters = counters;
                      }
                  | _ -> None)
@@ -356,6 +410,9 @@ let fuzz_rows rows =
             r_self_s = acc.r_self_s +. r.r_self_s;
             r_self_alloc_w = acc.r_self_alloc_w +. r.r_self_alloc_w;
             r_alloc_w = acc.r_alloc_w +. r.r_alloc_w;
+            (* quantiles don't sum; keep the worst tail across merged rows *)
+            r_p50_s = Float.max acc.r_p50_s r.r_p50_s;
+            r_p99_s = Float.max acc.r_p99_s r.r_p99_s;
             r_counters = merge_counters acc.r_counters r.r_counters;
           })
     rows;
@@ -368,6 +425,15 @@ let fmt_dw w =
   else if a >= 1e6 then Printf.sprintf "%+.1fMw" (w /. 1e6)
   else if a >= 1e3 then Printf.sprintf "%+.1fkw" (w /. 1e3)
   else Printf.sprintf "%+.0fw" w
+
+(* Signed duration delta for the quantile columns (quantiles are per-
+   occurrence, so they live on a much finer scale than the summed times). *)
+let fmt_dd s =
+  let a = Float.abs s in
+  if a < 0.5e-9 then "0"
+  else if a >= 1. then Printf.sprintf "%+.3fs" s
+  else if a >= 1e-3 then Printf.sprintf "%+.2fms" (s *. 1e3)
+  else Printf.sprintf "%+.0fus" (s *. 1e6)
 
 let obsdiff_cmd =
   let file_a =
@@ -402,8 +468,8 @@ let obsdiff_cmd =
             rows_b
       in
       Printf.printf "[obsdiff] %s -> %s\n" file_a file_b;
-      Printf.printf "   %-44s %10s %10s %10s %10s  %s\n" "span" "self A" "self B"
-        "d-self" "d-alloc" "d-counters";
+      Printf.printf "   %-44s %10s %10s %10s %9s %9s %10s  %s\n" "span" "self A"
+        "self B" "d-self" "d-p50" "d-p99" "d-alloc" "d-counters";
       List.iter
         (fun (a, b) ->
           let path = match (a, b) with Some r, _ | None, Some r -> r.r_path | _ -> "" in
@@ -438,11 +504,15 @@ let obsdiff_cmd =
                 if Float.abs d < 0.5 then None else Some (Printf.sprintf "%s %+.0f" k d))
               keys
           in
-          Printf.printf " %c %s%-*s %9.4fs %9.4fs %+9.4fs %10s  %s\n" mark
+          let p50 r = match r with Some r -> r.r_p50_s | None -> 0. in
+          let p99 r = match r with Some r -> r.r_p99_s | None -> 0. in
+          Printf.printf " %c %s%-*s %9.4fs %9.4fs %+9.4fs %9s %9s %10s  %s\n" mark
             (String.make (2 * !depth) ' ')
             (max 1 (44 - (2 * !depth)))
             leaf (self a) (self b)
             (self b -. self a)
+            (fmt_dd (p50 b -. p50 a))
+            (fmt_dd (p99 b -. p99 a))
             (fmt_dw (alloc b -. alloc a))
             (if ctr_delta = [] then "" else "{" ^ String.concat ", " ctr_delta ^ "}"))
         aligned;

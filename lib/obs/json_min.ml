@@ -106,19 +106,18 @@ let parse s =
           | 'u' ->
             incr i;
             let cp = hex4 () in
-            (* Combine a surrogate pair when one follows; otherwise emit
-               the lone value as-is. *)
-            if cp >= 0xd800 && cp <= 0xdbff && !i + 1 < n && s.[!i] = '\\'
-               && s.[!i + 1] = 'u'
-            then begin
+            (* Surrogates only make sense in pairs: a high one must be
+               immediately followed by an escaped low one (combined into
+               the supplementary code point), and a low one must never
+               stand alone.  Anything else is a malformed document. *)
+            if cp >= 0xdc00 && cp <= 0xdfff then fail "unpaired low surrogate"
+            else if cp >= 0xd800 && cp <= 0xdbff then begin
+              if !i + 1 >= n || s.[!i] <> '\\' || s.[!i + 1] <> 'u' then
+                fail "unpaired high surrogate";
               i := !i + 2;
               let lo = hex4 () in
-              if lo >= 0xdc00 && lo <= 0xdfff then
-                add_utf8 buf (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
-              else begin
-                add_utf8 buf cp;
-                add_utf8 buf lo
-              end
+              if lo < 0xdc00 || lo > 0xdfff then fail "unpaired high surrogate";
+              add_utf8 buf (0x10000 + ((cp - 0xd800) lsl 10) + (lo - 0xdc00))
             end
             else add_utf8 buf cp
           | _ -> fail "bad escape")

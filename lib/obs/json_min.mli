@@ -4,8 +4,9 @@
 
     Scope: everything our own exporters emit — objects, arrays, strings
     with the standard escapes (including [\uXXXX] with surrogate pairs,
-    decoded to UTF-8), numbers, booleans and null.  Duplicate object keys
-    keep their first occurrence under {!member}. *)
+    decoded to UTF-8; unpaired surrogates are rejected), numbers,
+    booleans and null.  Duplicate object keys keep their first occurrence
+    under {!member}. *)
 
 type t =
   | Null

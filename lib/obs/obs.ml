@@ -1,18 +1,20 @@
-(* Observability: hierarchical wall-clock spans + counters/gauges with a
-   global registry and three exporters (stderr tree, metrics JSON, Chrome
-   trace events).
+(* Observability: hierarchical wall-clock spans + counters/gauges/histograms
+   with a global registry and five exporters (stderr tree, metrics JSON,
+   Chrome trace events, OpenMetrics text, flight-recorder trace dump).
 
    Disabled-path contract: every instrumentation entry point starts with a
    single branch on [enabled_flag] and returns without allocating, so the
-   kernels can stay instrumented permanently.  Counters and gauges carry a
-   generation stamp instead of living in the registry from [make]: they
-   join it on first use while enabled, which keeps the registry empty (and
-   allocation-free) in disabled runs, and lets [reset] invalidate every
-   outstanding handle in O(1) by bumping the generation.
+   kernels can stay instrumented permanently.  Counters, gauges and
+   histograms carry a generation stamp instead of living in the registry
+   from [make]: they join it on first use while enabled, which keeps the
+   registry empty (and allocation-free) in disabled runs, and lets [reset]
+   invalidate every outstanding handle in O(1) by bumping the generation.
 
    Domain safety: counter totals, gauge values, the enabled flag and the
-   generation stamp are [Atomic]s; registration goes through a mutex.  The
-   span tree has exactly one owner — the domain that loaded this module
+   generation stamp are [Atomic]s; registration goes through a mutex.  A
+   histogram keeps one single-writer [Hdr.t] shard per domain (created on
+   that domain's first observe, under the mutex) and merges them on read.
+   The span tree has exactly one owner — the domain that loaded this module
    (the main domain) — and every other domain records spans into a private
    stack selected by [cur_stack]: inside a [Domain_scope] the stack bottoms
    out at the scope's buffer root, outside one it is empty and spans are
@@ -21,7 +23,15 @@
    in the caller-chosen (task-index) order, which keeps exports
    deterministic regardless of how many domains actually ran the tasks.
    [reset]/[set_enabled]/the exporters remain owner-domain-only, and must
-   not run while scopes are in flight. *)
+   not run while scopes are in flight.
+
+   Span-duration histograms: every completed span feeds a per-path [Hdr.t]
+   so the exporters can report p50/p90/p99 instead of only totals.  All
+   feeding happens on the owner domain — spans closed on the owner stack
+   feed at [Span.exit] (the stack gives the full path), spans buffered in a
+   [Domain_scope] feed at [merge], when their final path prefix becomes
+   known — so the per-path registry needs no locking and merge order keeps
+   it deterministic. *)
 
 let now () = Unix.gettimeofday ()
 
@@ -33,10 +43,22 @@ type counter = { c_name : string; c_total : int Atomic.t; c_gen : int Atomic.t }
 
 type gauge = { g_name : string; g_value : float Atomic.t; g_gen : int Atomic.t }
 
+type histogram = {
+  h_name : string;
+  (* One single-writer shard per domain id; the assoc list only grows (under
+     [reg_mutex]) and its cells are immutable, so racy reads during an
+     owner-side merge are safe.  Bucket counts read while a worker is mid-
+     observe may be one increment stale — exports run after joins, where
+     the pool's own synchronization makes them exact. *)
+  mutable h_shards : (int * Hdr.t) list;
+  h_gen : int Atomic.t;
+}
+
 type node = {
   s_name : string;
   s_args : (string * string) list;
   s_t0 : float;
+  s_domain : int;  (* domain that entered the span; exits elsewhere are dropped *)
   mutable s_dur : float;  (* negative while the span is open *)
   (* Gc snapshot at enter ... *)
   s_minor0 : float;
@@ -88,6 +110,7 @@ let make_node ~name ~args =
     s_name = name;
     s_args = args;
     s_t0 = now ();
+    s_domain = (Domain.self () :> int);
     s_dur = -1.;
     s_minor0 = q.gs_minor;
     s_major0 = q.gs_major;
@@ -130,74 +153,9 @@ let counters_reg : counter list ref = ref []
 
 let gauges_reg : gauge list ref = ref []
 
+let histograms_reg : histogram list ref = ref []
+
 let enabled () = Atomic.get enabled_flag
-
-(* Close [n] if still open, stamping duration and GC deltas from the
-   snapshot taken by the caller. *)
-let close_node ~t ~q n =
-  if n.s_dur < 0. then begin
-    n.s_dur <- t -. n.s_t0;
-    n.s_d_minor <- q.gs_minor -. n.s_minor0;
-    n.s_d_major <- q.gs_major -. n.s_major0;
-    n.s_d_promoted <- q.gs_promoted -. n.s_promoted0;
-    n.s_d_mincol <- q.gs_mincol - n.s_mincol0;
-    n.s_d_majcol <- q.gs_majcol - n.s_majcol0
-  end
-
-module Span = struct
-  type t = node option
-
-  let none = None
-
-  let enter ?(args = []) name =
-    if not (Atomic.get enabled_flag) then None
-    else begin
-      let st = cur_stack () in
-      match !st with
-      | [] -> None  (* a worker outside any Domain_scope: drop the span *)
-      | top :: _ as stack ->
-        let n = make_node ~name ~args in
-        top.s_children <- n :: top.s_children;
-        st := n :: stack;
-        Some n
-    end
-
-  let exit sp =
-    match sp with
-    | None -> ()
-    | Some n ->
-      let st = cur_stack () in
-      if n.s_gen = Atomic.get generation && List.memq n !st then begin
-        let t = now () in
-        let q = gc_snap () in
-        (* Close forgotten open descendants along the way. *)
-        let continue = ref true in
-        while !continue do
-          match !st with
-          | top :: rest ->
-            close_node ~t ~q top;
-            st := rest;
-            if top == n then continue := false
-          | [] -> continue := false
-        done
-      end
-
-  let with_ ?args name f =
-    if not (Atomic.get enabled_flag) then f ()
-    else begin
-      let sp = enter ?args name in
-      match f () with
-      | x ->
-        exit sp;
-        x
-      | exception e ->
-        (* Keep the original raise site: [raise e] would restart the
-           backtrace here, in the instrumentation layer. *)
-        let bt = Printexc.get_raw_backtrace () in
-        exit sp;
-        Printexc.raise_with_backtrace e bt
-    end
-end
 
 module Counter = struct
   type t = counter
@@ -265,6 +223,388 @@ module Gauge = struct
     if Atomic.get g.g_gen = Atomic.get generation then Atomic.get g.g_value else 0.
 end
 
+module Histogram = struct
+  type t = histogram
+
+  let make name = { h_name = name; h_shards = []; h_gen = Atomic.make 0 }
+
+  let touch h =
+    if Atomic.get h.h_gen <> Atomic.get generation then begin
+      Mutex.lock reg_mutex;
+      let gen = Atomic.get generation in
+      if Atomic.get h.h_gen <> gen then begin
+        h.h_shards <- [];
+        Atomic.set h.h_gen gen;
+        histograms_reg := h :: !histograms_reg
+      end;
+      Mutex.unlock reg_mutex
+    end
+
+  let shard h =
+    let did = (Domain.self () :> int) in
+    match List.assoc_opt did h.h_shards with
+    | Some s -> s
+    | None ->
+      Mutex.lock reg_mutex;
+      let s =
+        match List.assoc_opt did h.h_shards with
+        | Some s -> s
+        | None ->
+          let s = Hdr.create () in
+          h.h_shards <- (did, s) :: h.h_shards;
+          s
+      in
+      Mutex.unlock reg_mutex;
+      s
+
+  let observe h v =
+    if Atomic.get enabled_flag then begin
+      touch h;
+      Hdr.observe (shard h) v
+    end
+
+  (* Fresh merged view of all shards (empty when the handle is stale). *)
+  let snapshot h =
+    let m = Hdr.create () in
+    if Atomic.get h.h_gen = Atomic.get generation then
+      List.iter (fun (_, s) -> Hdr.merge ~into:m s) h.h_shards;
+    m
+
+  let merge h ~into =
+    if Atomic.get h.h_gen = Atomic.get generation then
+      List.iter (fun (_, s) -> Hdr.merge ~into s) h.h_shards
+
+  let count h =
+    if Atomic.get h.h_gen = Atomic.get generation then
+      List.fold_left (fun acc (_, s) -> acc + Hdr.count s) 0 h.h_shards
+    else 0
+
+  let sum h =
+    if Atomic.get h.h_gen = Atomic.get generation then
+      List.fold_left (fun acc (_, s) -> acc + Hdr.sum s) 0 h.h_shards
+    else 0
+
+  let quantile h q = Hdr.quantile (snapshot h) q
+end
+
+(* ------------------------------------------------------------------ *)
+(* Peak major-heap tracking                                           *)
+
+(* High-water mark of [Gc.quick_stat].heap_words, maintained by a GC alarm
+   that fires at the end of every major collection while the layer is
+   enabled (plus one seed sample when collection starts, so the gauge is
+   never absent from an enabled export), and additionally sampled every
+   [peak_sample_every]-th span close — a major heap can balloon and shrink
+   back between two major cycles, which the alarm alone never sees.  The
+   compare-then-set pair is not atomic; a lost race between two domains
+   only under-reports the high-water mark by one sample, which the next
+   sample refreshes. *)
+let peak_heap_gauge = Gauge.make "gc.peak_major_heap_words"
+
+let peak_samples_gauge = Gauge.make "obs.peak_heap_samples"
+
+let gc_alarm : Gc.alarm option ref = ref None
+
+let sample_peak_heap () =
+  if Atomic.get enabled_flag then begin
+    let hw = float_of_int (Gc.quick_stat ()).Gc.heap_words in
+    if Gauge.value peak_heap_gauge < hw then Gauge.set peak_heap_gauge hw
+  end
+
+(* Process-global close count (never reset: the modulus only needs to keep
+   ticking, and resetting it would make sampling phase depend on test
+   order). *)
+let span_closes = Atomic.make 0
+
+let peak_sample_every = 32
+
+(* Dropped cross-domain [Span.exit]s (a span exited on a different domain
+   than entered it — a bug in the instrumented code, surfaced instead of
+   corrupting the exiting domain's span stack). *)
+let cross_domain_exits = Counter.make "obs.cross_domain_exits"
+
+(* ------------------------------------------------------------------ *)
+(* Shared JSON/formatting helpers (used by several exporters)         *)
+
+let json_escape = Json_min.escape
+
+let json_float f =
+  (* %.6f keeps the output plain (no exponents) and precise to the µs. *)
+  if Float.is_finite f then Printf.sprintf "%.6f" f else "0"
+
+(* Word counts are integral in practice; keep them exponent-free too. *)
+let json_words f = if Float.is_finite f then Printf.sprintf "%.0f" f else "0"
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+
+module Flight_recorder = struct
+  (* Bounded ring of the last N completed spans, written at span close
+     from any domain and dumped as Chrome trace JSON on demand, at normal
+     exit, or from a fatal-signal handler — so a crashed or killed run
+     leaves a readable tail of what it was doing.  Cells are preallocated
+     at [configure] and recycled by mutation: recording costs one atomic
+     fetch-and-add plus five field writes, no allocation.  The cursor is
+     atomic so concurrent closes on several domains never write the same
+     slot; a dump racing an in-flight write can see one half-updated cell,
+     which is acceptable for a post-mortem artifact (and impossible in the
+     dump-on-exit paths, which run after all domains joined).  [Obs.reset]
+     deliberately does NOT clear the ring: it is a process-lifetime tail,
+     not a per-run metric. *)
+
+  type cell = {
+    mutable e_name : string;
+    mutable e_args : (string * string) list;
+    mutable e_t0 : float;
+    mutable e_dur : float;
+    mutable e_dom : int;
+  }
+
+  let cells : cell array ref = ref [||]
+
+  let cursor = Atomic.make 0  (* total spans ever recorded *)
+
+  let dump_path : string option ref = ref None
+
+  let hooks_installed = ref false
+
+  let capacity () = Array.length !cells
+
+  let active () = Array.length !cells > 0
+
+  let recorded () = Atomic.get cursor
+
+  let configure ~capacity =
+    let capacity = max 0 capacity in
+    cells :=
+      Array.init capacity (fun _ ->
+          { e_name = ""; e_args = []; e_t0 = 0.; e_dur = 0.; e_dom = 0 });
+    Atomic.set cursor 0
+
+  let set_dump_path p = dump_path := p
+
+  let record ~name ~args ~t0 ~dur =
+    let cs = !cells in
+    let cap = Array.length cs in
+    if cap > 0 then begin
+      let i = Atomic.fetch_and_add cursor 1 in
+      let c = cs.(i mod cap) in
+      c.e_name <- name;
+      c.e_args <- args;
+      c.e_t0 <- t0;
+      c.e_dur <- dur;
+      c.e_dom <- (Domain.self () :> int)
+    end
+
+  (* Oldest-to-newest Chrome trace (ph:"X", µs since the obs epoch, tid =
+     domain id), loadable in Perfetto next to a [--trace] export. *)
+  let dump_json () =
+    let cs = !cells in
+    let cap = Array.length cs in
+    let total = Atomic.get cursor in
+    let n = min total cap in
+    let first = total - n in
+    let buf = Buffer.create 4096 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    add "{ \"traceEvents\": [\n";
+    add
+      "  { \"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, \"args\": { \
+       \"name\": \"maxtruss flight recorder (last %d spans)\" } }"
+      n;
+    for j = 0 to n - 1 do
+      let c = cs.((first + j) mod cap) in
+      add
+        ",\n  { \"name\": \"%s\", \"cat\": \"flight\", \"ph\": \"X\", \"ts\": %s, \"dur\": \
+         %s, \"pid\": 1, \"tid\": %d"
+        (json_escape c.e_name)
+        (json_float ((c.e_t0 -. !epoch) *. 1e6))
+        (json_float (c.e_dur *. 1e6))
+        c.e_dom;
+      if c.e_args <> [] then begin
+        add ", \"args\": { ";
+        List.iteri
+          (fun i (k, v) ->
+            add "%s\"%s\": \"%s\"" (if i = 0 then "" else ", ") (json_escape k)
+              (json_escape v))
+          c.e_args;
+        add " }"
+      end;
+      add " }"
+    done;
+    add "\n] }\n";
+    Buffer.contents buf
+
+  let dump path = write_file path (dump_json ())
+
+  let dump_if_configured () =
+    match !dump_path with
+    | Some p when active () && Atomic.get cursor > 0 -> (
+      try dump p with Sys_error _ -> ())
+    | _ -> ()
+
+  (* at_exit covers normal termination (including [exit 1] error paths);
+     the signal handlers cover SIGTERM/SIGINT/SIGQUIT — after dumping they
+     restore the default disposition and re-deliver, so the process still
+     dies with the conventional signal status and [at_exit] does not run a
+     second dump.  Installed once per process, only on explicit request
+     (never as a side effect of enabling the obs layer). *)
+  let install_crash_hooks () =
+    if not !hooks_installed then begin
+      hooks_installed := true;
+      at_exit dump_if_configured;
+      let on_signal signum _ =
+        dump_if_configured ();
+        Sys.set_signal signum Sys.Signal_default;
+        Unix.kill (Unix.getpid ()) signum
+      in
+      List.iter
+        (fun s ->
+          try Sys.set_signal s (Sys.Signal_handle (on_signal s))
+          with Invalid_argument _ | Sys_error _ -> ())
+        [ Sys.sigterm; Sys.sigint; Sys.sigquit ]
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Span-path duration histograms                                      *)
+
+(* Keyed by the full rendered path ("a/b(h=2)"), same keys as [span_stats].
+   Owner-domain only (feeding happens at owner-side closes and at
+   [Domain_scope.merge]), so a plain Hashtbl suffices; values are observed
+   in integer nanoseconds. *)
+let span_hists : (string, Hdr.t) Hashtbl.t = Hashtbl.create 64
+
+let dur_ns dur_s = int_of_float (dur_s *. 1e9)
+
+let feed_path_dur path dur_s =
+  let h =
+    match Hashtbl.find_opt span_hists path with
+    | Some h -> h
+    | None ->
+      let h = Hdr.create () in
+      Hashtbl.replace span_hists path h;
+      h
+  in
+  Hdr.observe h (dur_ns dur_s)
+
+let rendered_name n =
+  match n.s_args with
+  | [] -> n.s_name
+  | args ->
+    n.s_name ^ "("
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) args)
+    ^ ")"
+
+let join_path prefix n =
+  if prefix = "" then rendered_name n else prefix ^ "/" ^ rendered_name n
+
+(* Close [n] if still open, stamping duration and GC deltas from the
+   snapshot taken by the caller; every real close also lands in the flight
+   recorder and ticks the sampled peak-heap probe. *)
+let close_node ~t ~q n =
+  if n.s_dur < 0. then begin
+    n.s_dur <- t -. n.s_t0;
+    n.s_d_minor <- q.gs_minor -. n.s_minor0;
+    n.s_d_major <- q.gs_major -. n.s_major0;
+    n.s_d_promoted <- q.gs_promoted -. n.s_promoted0;
+    n.s_d_mincol <- q.gs_mincol - n.s_mincol0;
+    n.s_d_majcol <- q.gs_majcol - n.s_majcol0;
+    if n.s_name <> "" then begin
+      Flight_recorder.record ~name:n.s_name ~args:n.s_args ~t0:n.s_t0 ~dur:n.s_dur;
+      let closed = Atomic.fetch_and_add span_closes 1 + 1 in
+      if closed mod peak_sample_every = 0 then begin
+        sample_peak_heap ();
+        Gauge.set peak_samples_gauge (float_of_int (closed / peak_sample_every))
+      end
+    end
+  end
+
+module Span = struct
+  type t = node option
+
+  let none = None
+
+  let enter ?(args = []) name =
+    if not (Atomic.get enabled_flag) then None
+    else begin
+      let st = cur_stack () in
+      match !st with
+      | [] -> None  (* a worker outside any Domain_scope: drop the span *)
+      | top :: _ as stack ->
+        let n = make_node ~name ~args in
+        top.s_children <- n :: top.s_children;
+        st := n :: stack;
+        Some n
+    end
+
+  let exit sp =
+    match sp with
+    | None -> ()
+    | Some n ->
+      if (Domain.self () :> int) <> n.s_domain then
+        (* Exiting on a foreign domain would walk (and pop!) that domain's
+           own stack — drop the exit and surface the bug as a counter; the
+           owning domain's scope drain will close the span. *)
+        Counter.incr cross_domain_exits
+      else begin
+        let st = cur_stack () in
+        if n.s_gen = Atomic.get generation && List.memq n !st then begin
+          let t = now () in
+          let q = gc_snap () in
+          (* Paths are only final when this stack bottoms out at the live
+             owner root; scope-buffered spans feed their histograms at
+             [Domain_scope.merge] instead. *)
+          let paths =
+            match List.rev !st with
+            | base :: rest when base == !root_node ->
+              let _, acc =
+                List.fold_left
+                  (fun (prefix, acc) m ->
+                    let p = join_path prefix m in
+                    (p, (m, p) :: acc))
+                  ("", []) rest
+              in
+              acc  (* innermost first, matching the pop order below *)
+            | _ -> []
+          in
+          (* Close forgotten open descendants along the way. *)
+          let continue = ref true in
+          while !continue do
+            match !st with
+            | top :: rest ->
+              close_node ~t ~q top;
+              (match List.assq_opt top paths with
+              | Some p -> feed_path_dur p top.s_dur
+              | None -> ());
+              st := rest;
+              if top == n then continue := false
+            | [] -> continue := false
+          done
+        end
+      end
+
+  let with_ ?args name f =
+    if not (Atomic.get enabled_flag) then f ()
+    else begin
+      let sp = enter ?args name in
+      match f () with
+      | x ->
+        exit sp;
+        x
+      | exception e ->
+        (* Keep the original raise site: [raise e] would restart the
+           backtrace here, in the instrumentation layer. *)
+        let bt = Printexc.get_raw_backtrace () in
+        exit sp;
+        Printexc.raise_with_backtrace e bt
+    end
+end
+
 (* ------------------------------------------------------------------ *)
 (* Off-owner span buffers                                             *)
 
@@ -316,13 +656,34 @@ module Domain_scope = struct
         restore ();
         Printexc.raise_with_backtrace e bt)
 
+  (* Feed the duration histograms of a merged subtree, now that the final
+     path prefix is known.  All buffered nodes are closed (the scope's
+     [drain_above] ran before the join), so the walk is total. *)
+  let rec feed_subtree prefix n =
+    if n.s_dur >= 0. then begin
+      let p = join_path prefix n in
+      feed_path_dur p n.s_dur;
+      List.iter (feed_subtree p) n.s_children
+    end
+
   let merge sc =
     match sc with
     | None -> ()
     | Some root ->
       if root.s_gen = Atomic.get generation && root.s_children <> [] then begin
         match !(cur_stack ()) with
-        | top :: _ ->
+        | top :: _ as stack ->
+          (* Histograms only feed when merging into the live owner tree; a
+             merge into an enclosing scope's buffer defers to that scope's
+             own merge, which walks the spliced subtree with the full
+             prefix (so nothing is fed twice). *)
+          (match List.rev stack with
+          | base :: rest when base == !root_node ->
+            let prefix =
+              List.fold_left (fun prefix m -> join_path prefix m) "" rest
+            in
+            List.iter (feed_subtree prefix) root.s_children
+          | _ -> ());
           (* Both child lists are reverse chronological; prepending keeps
              successive merges in call order once reversed, i.e. merged
              subtrees read in task-index order. *)
@@ -331,31 +692,14 @@ module Domain_scope = struct
       end
 end
 
-(* ------------------------------------------------------------------ *)
-(* Peak major-heap tracking                                           *)
-
-(* High-water mark of [Gc.quick_stat].heap_words, maintained by a GC alarm
-   that fires at the end of every major collection while the layer is
-   enabled (plus one seed sample when collection starts, so the gauge is
-   never absent from an enabled export).  The compare-then-set pair is not
-   atomic; a lost race between two domains' alarms only under-reports the
-   high-water mark by one sample, which the next major refreshes. *)
-let peak_heap_gauge = Gauge.make "gc.peak_major_heap_words"
-
-let gc_alarm : Gc.alarm option ref = ref None
-
-let sample_peak_heap () =
-  if Atomic.get enabled_flag then begin
-    let hw = float_of_int (Gc.quick_stat ()).Gc.heap_words in
-    if Gauge.value peak_heap_gauge < hw then Gauge.set peak_heap_gauge hw
-  end
-
 let reset () =
   ignore (Atomic.fetch_and_add generation 1);
   Mutex.lock reg_mutex;
   counters_reg := [];
   gauges_reg := [];
+  histograms_reg := [];
   Mutex.unlock reg_mutex;
+  Hashtbl.reset span_hists;
   let r = make_root () in
   root_node := r;
   owner_stack := [ r ];
@@ -383,6 +727,9 @@ type span_stat = {
   count : int;
   total_s : float;
   self_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
   alloc_w : float;
   self_alloc_w : float;
   promoted_w : float;
@@ -390,14 +737,6 @@ type span_stat = {
   major_gcs : int;
   counters : (string * int) list;
 }
-
-let rendered_name n =
-  match n.s_args with
-  | [] -> n.s_name
-  | args ->
-    n.s_name ^ "("
-    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) args)
-    ^ ")"
 
 let node_dur ~t n = if n.s_dur >= 0. then n.s_dur else t -. n.s_t0
 
@@ -439,6 +778,22 @@ let group_siblings nodes =
     nodes;
   List.rev_map (fun key -> (key, List.rev !(Hashtbl.find tbl key))) !order
 
+(* Quantiles for a span row: the registered per-path histogram when it has
+   data (the normal case once spans closed), else a transient histogram
+   over the rows' own durations — covers paths whose spans are all still
+   open at export time, with the same log-linear quantization. *)
+let path_quantiles ~t path ns =
+  let h =
+    match Hashtbl.find_opt span_hists path with
+    | Some h when Hdr.count h > 0 -> h
+    | _ ->
+      let h = Hdr.create () in
+      List.iter (fun n -> Hdr.observe h (dur_ns (node_dur ~t n))) ns;
+      h
+  in
+  let q p = float_of_int (Hdr.quantile h p) /. 1e9 in
+  (q 0.5, q 0.9, q 0.99)
+
 let span_stats () =
   let t = now () in
   let q = gc_snap () in
@@ -474,12 +829,16 @@ let span_stats () =
         let ctrs =
           List.rev_map (fun name -> (name, !(Hashtbl.find ctr_tbl name))) !ctr_order
         in
+        let p50, p90, p99 = path_quantiles ~t path ns in
         acc :=
           {
             path;
             count = List.length ns;
             total_s = total;
             self_s = total -. child_total;
+            p50_s = p50;
+            p90_s = p90;
+            p99_s = p99;
             alloc_w = alloc;
             self_alloc_w = alloc -. child_alloc;
             promoted_w = promoted;
@@ -511,6 +870,17 @@ let gauges () =
   List.map (fun g -> (g.g_name, Atomic.get g.g_value)) gs
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let histograms () =
+  Mutex.lock reg_mutex;
+  let hs = !histograms_reg in
+  Mutex.unlock reg_mutex;
+  List.map (fun h -> (h.h_name, Histogram.snapshot h)) hs
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let span_histograms () =
+  Hashtbl.fold (fun path h acc -> (path, Hdr.copy h) :: acc) span_hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                          *)
 
@@ -522,11 +892,20 @@ let fmt_words w =
   else if a >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
   else Printf.sprintf "%.0fw" w
 
+(* Compact duration rendering for the quantile columns (spans range from
+   microseconds to minutes; a fixed %.4fs column flattens the fast ones). *)
+let fmt_dur s =
+  let a = Float.abs s in
+  if a >= 1. then Printf.sprintf "%.3fs" s
+  else if a >= 1e-3 then Printf.sprintf "%.2fms" (s *. 1e3)
+  else Printf.sprintf "%.0fus" (s *. 1e6)
+
 let report oc =
   let stats = span_stats () in
   if stats <> [] then begin
     Printf.fprintf oc
-      "[obs] span tree (count, inclusive, exclusive, alloc, self-alloc, gcs):\n";
+      "[obs] span tree (count, inclusive, exclusive, p50/p90/p99, alloc, self-alloc, \
+       gcs):\n";
     List.iter
       (fun s ->
         let depth = ref 0 in
@@ -536,11 +915,12 @@ let report oc =
           | Some i -> String.sub s.path (i + 1) (String.length s.path - i - 1)
           | None -> s.path
         in
-        Printf.fprintf oc "  %s%-*s %6dx %10.4fs %10.4fs %9s %9s %4d/%d"
+        Printf.fprintf oc "  %s%-*s %6dx %10.4fs %10.4fs %8s %8s %8s %9s %9s %4d/%d"
           (String.make (2 * !depth) ' ')
           (max 1 (40 - (2 * !depth)))
-          leaf s.count s.total_s s.self_s (fmt_words s.alloc_w)
-          (fmt_words s.self_alloc_w) s.minor_gcs s.major_gcs;
+          leaf s.count s.total_s s.self_s (fmt_dur s.p50_s) (fmt_dur s.p90_s)
+          (fmt_dur s.p99_s) (fmt_words s.alloc_w) (fmt_words s.self_alloc_w)
+          s.minor_gcs s.major_gcs;
         if s.counters <> [] then begin
           Printf.fprintf oc "  {%s}"
             (String.concat ", "
@@ -559,23 +939,40 @@ let report oc =
     Printf.fprintf oc "[obs] gauges:\n";
     List.iter (fun (k, v) -> Printf.fprintf oc "  %-46s %g\n" k v) gs
   end;
+  let hs = histograms () in
+  if hs <> [] then begin
+    Printf.fprintf oc "[obs] histograms (count, p50/p90/p99, sum):\n";
+    List.iter
+      (fun (k, h) ->
+        Printf.fprintf oc "  %-46s %6d  %d/%d/%d  %d\n" k (Hdr.count h)
+          (Hdr.quantile h 0.5) (Hdr.quantile h 0.9) (Hdr.quantile h 0.99) (Hdr.sum h))
+      hs
+  end;
   flush oc
 
-let json_escape = Json_min.escape
-
-let json_float f =
-  (* %.6f keeps the output plain (no exponents) and precise to the µs. *)
-  if Float.is_finite f then Printf.sprintf "%.6f" f else "0"
-
-(* Word counts are integral in practice; keep them exponent-free too. *)
-let json_words f = if Float.is_finite f then Printf.sprintf "%.0f" f else "0"
+(* One histogram as a JSON object: exact count/sum/min/max, quantized
+   quantiles, and the non-empty cumulative buckets as [bound, count]
+   pairs — the same numbers the OpenMetrics exposition renders. *)
+let hist_json h =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{ \"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d" (Hdr.count h)
+    (Hdr.sum h) (Hdr.min_value h) (Hdr.max_value_seen h);
+  add ", \"p50\": %d, \"p90\": %d, \"p99\": %d" (Hdr.quantile h 0.5)
+    (Hdr.quantile h 0.9) (Hdr.quantile h 0.99);
+  add ", \"buckets\": [";
+  List.iteri
+    (fun i (ub, cum) -> add "%s[%d, %d]" (if i = 0 then "" else ", ") ub cum)
+    (Hdr.buckets h);
+  add "] }";
+  Buffer.contents buf
 
 let metrics_json () =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"schema\": \"maxtruss-obs-metrics\",\n";
-  add "  \"version\": 2,\n";
+  add "  \"version\": 3,\n";
   add "  \"enabled\": %b,\n" (Atomic.get enabled_flag);
   let stats = span_stats () in
   add "  \"spans\": [";
@@ -584,6 +981,8 @@ let metrics_json () =
       add "%s\n    { \"path\": \"%s\", \"count\": %d, \"total_s\": %s, \"self_s\": %s"
         (if i = 0 then "" else ",")
         (json_escape s.path) s.count (json_float s.total_s) (json_float s.self_s);
+      add ", \"p50_s\": %s, \"p90_s\": %s, \"p99_s\": %s" (json_float s.p50_s)
+        (json_float s.p90_s) (json_float s.p99_s);
       add ", \"alloc_w\": %s, \"self_alloc_w\": %s, \"promoted_w\": %s"
         (json_words s.alloc_w) (json_words s.self_alloc_w) (json_words s.promoted_w);
       add ", \"minor_gcs\": %d, \"major_gcs\": %d" s.minor_gcs s.major_gcs;
@@ -611,14 +1010,33 @@ let metrics_json () =
     (fun i (k, v) ->
       add "%s\n    \"%s\": %s" (if i = 0 then "" else ",") (json_escape k) (json_float v))
     gs;
-  add "%s  }\n" (if gs = [] then "" else "\n");
-  add "}\n";
+  add "%s  }" (if gs = [] then "" else "\n");
+  (* v3: optional histograms section — "named" are registered
+     [Obs.Histogram]s (values in their own unit), "spans" the per-path
+     duration histograms (nanoseconds).  Omitted entirely when both are
+     empty, so v2 consumers and disabled-mode exports are untouched. *)
+  let named = histograms () in
+  let spans_h = span_histograms () in
+  if named <> [] || spans_h <> [] then begin
+    add ",\n  \"histograms\": {\n";
+    add "    \"named\": {";
+    List.iteri
+      (fun i (k, h) ->
+        add "%s\n      \"%s\": %s" (if i = 0 then "" else ",") (json_escape k)
+          (hist_json h))
+      named;
+    add "%s    },\n" (if named = [] then "" else "\n");
+    add "    \"spans\": {";
+    List.iteri
+      (fun i (k, h) ->
+        add "%s\n      \"%s\": %s" (if i = 0 then "" else ",") (json_escape k)
+          (hist_json h))
+      spans_h;
+    add "%s    }\n" (if spans_h = [] then "" else "\n");
+    add "  }"
+  end;
+  add "\n}\n";
   Buffer.contents buf
-
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
 
 let write_metrics path = write_file path (metrics_json ())
 
@@ -661,3 +1079,99 @@ let chrome_trace_json () =
   Buffer.contents buf
 
 let write_chrome_trace path = write_file path (chrome_trace_json ())
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                             *)
+
+module Openmetrics = struct
+  (* Prometheus/OpenMetrics text format: every registered counter becomes
+     a [maxtruss_<name>] counter family (sample suffix `_total`), every
+     gauge a gauge family, every registered histogram and every span path
+     a histogram family with cumulative `_bucket{le=...}` series plus
+     `_sum`/`_count` — span durations share the single family
+     [maxtruss_span_duration_ns] distinguished by a `path` label, which is
+     the shape a scraper can aggregate across.  Output ends with `# EOF`
+     per the OpenMetrics spec.  Everything is emitted in name order, so
+     two exports of the same run are byte-comparable. *)
+
+  let sanitize name =
+    String.mapi
+      (fun i c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+        | '0' .. '9' when i > 0 -> c
+        | _ -> '_')
+      name
+
+  let family name = "maxtruss_" ^ sanitize name
+
+  let label_escape v =
+    let buf = Buffer.create (String.length v + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      v;
+    Buffer.contents buf
+
+  let fmt_gauge v =
+    if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+    else json_float v
+
+  (* One histogram's series under [fam], with [labels] prepended to each
+     sample's label set (already rendered, e.g. {|path="a/b"|}). *)
+  let add_hist_series buf ~fam ~labels h =
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let with_le le =
+      if labels = "" then Printf.sprintf "{le=\"%s\"}" le
+      else Printf.sprintf "{%s,le=\"%s\"}" labels le
+    in
+    let plain = if labels = "" then "" else "{" ^ labels ^ "}" in
+    List.iter
+      (fun (ub, cum) -> add "%s_bucket%s %d\n" fam (with_le (string_of_int ub)) cum)
+      (Hdr.buckets h);
+    add "%s_bucket%s %d\n" fam (with_le "+Inf") (Hdr.count h);
+    add "%s_sum%s %d\n" fam plain (Hdr.sum h);
+    add "%s_count%s %d\n" fam plain (Hdr.count h)
+
+  let render () =
+    let buf = Buffer.create 4096 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    List.iter
+      (fun (name, v) ->
+        let fam = family name in
+        add "# TYPE %s counter\n" fam;
+        add "%s_total %d\n" fam v)
+      (counters ());
+    List.iter
+      (fun (name, v) ->
+        let fam = family name in
+        add "# TYPE %s gauge\n" fam;
+        add "%s %s\n" fam (fmt_gauge v))
+      (gauges ());
+    List.iter
+      (fun (name, h) ->
+        let fam = family name in
+        add "# TYPE %s histogram\n" fam;
+        add_hist_series buf ~fam ~labels:"" h)
+      (histograms ());
+    let spans_h = span_histograms () in
+    if spans_h <> [] then begin
+      let fam = "maxtruss_span_duration_ns" in
+      add "# TYPE %s histogram\n" fam;
+      List.iter
+        (fun (path, h) ->
+          let labels = Printf.sprintf "path=\"%s\"" (label_escape path) in
+          add_hist_series buf ~fam ~labels h)
+        spans_h
+    end;
+    add "# EOF\n";
+    Buffer.contents buf
+end
+
+let openmetrics () = Openmetrics.render ()
+
+let write_openmetrics path = write_file path (openmetrics ())

@@ -1,33 +1,44 @@
 (** Zero-dependency observability for the PCFR pipeline: hierarchical
     wall-clock spans with per-span GC/allocation attribution, named
-    counters and gauges in a global registry, and three exporters (indented
-    span tree, schema-versioned metrics JSON, Chrome trace-event JSON
-    loadable in Perfetto / [chrome://tracing]).
+    counters/gauges/histograms in a global registry, and five exporters
+    (indented span tree, schema-versioned metrics JSON, Chrome trace-event
+    JSON loadable in Perfetto / [chrome://tracing], OpenMetrics text for
+    Prometheus-style scrapers, and a crash-surviving flight-recorder dump).
 
     Memory attribution: every span records per-domain GC counter deltas
     over its lifetime (minor/major/promoted words, minor+major
     collections), rolled up inclusively and exclusively exactly like wall
-    time, and a GC alarm maintains a peak-major-heap gauge
-    ([gc.peak_major_heap_words]) while collection is on.
+    time; a GC alarm maintains a peak-major-heap gauge
+    ([gc.peak_major_heap_words]) while collection is on, refreshed by a
+    sampled probe on every 32nd span close so spikes between major cycles
+    are caught too (sample count mirrored in [obs.peak_heap_samples]).
+
+    Latency distributions: every completed span additionally feeds a
+    fixed-footprint log-linear histogram ({!Hdr.t}, ~2 significant decimal
+    digits) keyed by its full path, so exports report p50/p90/p99 per path
+    — not just totals.  Free-standing distributions use {!Histogram}.
 
     Overhead contract: everything is off by default.  While disabled,
-    [Span.enter]/[Span.exit] with a static name, [Counter.add]/[incr] and
-    [Gauge.set] cost a single atomic-bool load and allocate nothing, so
-    instrumentation may stay in kernel hot paths; the registry does not
-    grow (counters and gauges only register themselves on first use while
-    enabled), and no GC alarm is installed.  The only call-site allocations
-    are optional [?args] lists, which instrumented code confines to coarse
-    (per-level) granularity.
+    [Span.enter]/[Span.exit] with a static name, [Counter.add]/[incr],
+    [Gauge.set] and [Histogram.observe] cost a single atomic-bool load and
+    allocate nothing, so instrumentation may stay in kernel hot paths; the
+    registry does not grow (counters, gauges and histograms only register
+    themselves on first use while enabled), and no GC alarm is installed.
+    The only call-site allocations are optional [?args] lists, which
+    instrumented code confines to coarse (per-level) granularity.
 
     Domain safety: counters, gauges, the enabled flag and the generation
-    stamp are atomic, so any domain may bump them concurrently.  The span
+    stamp are atomic, so any domain may bump them concurrently; a histogram
+    keeps one single-writer shard per domain, merged on read.  The span
     tree has a single owner — the domain that loaded this module — and
     other domains only record spans inside a {!Domain_scope}: a per-task
     buffer the owner splices under its innermost open span at
     {!Domain_scope.merge} in an order of its choosing, keeping exports
     deterministic at any domain count.  Spans entered on a non-owner domain
-    outside any scope are dropped; [reset], [set_enabled] and the exporters
-    must only run on the owner domain, with no scope in flight. *)
+    outside any scope are dropped; a span exited on a different domain than
+    entered it is dropped with an [obs.cross_domain_exits] counter bump;
+    [reset], [set_enabled] and the exporters must only run on the owner
+    domain, with no scope in flight. *)
 
 val enabled : unit -> bool
 
@@ -38,8 +49,10 @@ val set_enabled : bool -> unit
     alarm.  Owner-domain only. *)
 
 val reset : unit -> unit
-(** Drop all spans and unregister all counters/gauges (their totals restart
-    from zero on next use).  Does not change the enabled flag.
+(** Drop all spans, span-path histograms, and unregister all
+    counters/gauges/histograms (their totals restart from zero on next
+    use).  Does not change the enabled flag, and deliberately does not
+    clear the {!Flight_recorder} ring (a process-lifetime tail).
     Owner-domain only; must not race in-flight {!Domain_scope}s. *)
 
 module Span : sig
@@ -57,7 +70,9 @@ module Span : sig
   val exit : t -> unit
   (** Close the span (and, defensively, any forgotten children still open
       inside it).  No-op on [none] or a span from before the last [reset].
-      Must run on the domain that entered the span. *)
+      Called on a different domain than the one that entered the span, the
+      exit is dropped and [obs.cross_domain_exits] incremented — the span
+      stays open until its scope drains it. *)
 
   val with_ : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
   (** [with_ name f] = [enter]/[exit] around [f ()], exception-safe. *)
@@ -92,6 +107,38 @@ module Gauge : sig
   val value : t -> float
 end
 
+module Histogram : sig
+  (** Registered, domain-safe distributions over non-negative ints (choose
+      the unit; span durations use nanoseconds).  Built on {!Hdr.t}: fixed
+      footprint, log-linear buckets, ~2 significant decimal digits.  Each
+      domain writes its own shard (created on that domain's first observe),
+      so [observe] never contends; reads merge the shards and are exact
+      once concurrent writers have joined. *)
+
+  type t
+
+  val make : string -> t
+  (** Pure allocation (no bucket array yet): safe at module-initialization
+      time; the histogram joins the registry — and allocates its first
+      shard — on first [observe] while enabled. *)
+
+  val observe : t -> int -> unit
+
+  val count : t -> int
+
+  val sum : t -> int
+
+  val quantile : t -> float -> int
+  (** Conservative (≤ 1 % high) quantile over the merged shards; see
+      {!Hdr.quantile}. *)
+
+  val snapshot : t -> Hdr.t
+  (** Fresh merged copy of all shards (empty if stale or disabled). *)
+
+  val merge : t -> into:Hdr.t -> unit
+  (** Merge all shards into an existing accumulator. *)
+end
+
 module Domain_scope : sig
   (** Span buffering for worker domains, used by the [Par] pool: the owner
       creates one scope per task before forking, each task runs inside
@@ -116,8 +163,49 @@ module Domain_scope : sig
 
   val merge : t -> unit
   (** Splice the scope's recorded spans under the owner's innermost open
-      span.  Owner domain, post-join; call once per scope, in task order.
-      Scopes from before the last [reset] are dropped. *)
+      span, feeding their duration histograms now that the final path
+      prefix is known.  Owner domain, post-join; call once per scope, in
+      task order.  Scopes from before the last [reset] are dropped. *)
+end
+
+module Flight_recorder : sig
+  (** Bounded ring of the last N completed spans, recorded at span close
+      from any domain and dumped as Chrome-trace JSON — on demand, at
+      normal process exit, or from a fatal-signal handler — so a hung or
+      killed run leaves a readable tail of what it was doing.  Inactive
+      (capacity 0, recording a no-op beyond one array-length load) until
+      {!configure} is called; the CLI wires [--flight-record N] /
+      [MAXTRUSS_FLIGHT_RECORD] to it.  {!Obs.reset} does not clear the
+      ring. *)
+
+  val configure : capacity:int -> unit
+  (** Preallocate a ring of [capacity] cells (0 disables) and restart the
+      record count.  Not safe concurrently with in-flight span closes. *)
+
+  val capacity : unit -> int
+
+  val active : unit -> bool
+
+  val recorded : unit -> int
+  (** Total spans recorded since {!configure} (may exceed capacity; only
+      the last [capacity] are retained). *)
+
+  val set_dump_path : string option -> unit
+  (** Where the exit/signal hooks write their dump; [None] disables them
+      without uninstalling. *)
+
+  val dump_json : unit -> string
+  (** The retained spans, oldest first, as a Chrome trace-event object
+      ([ph:"X"], µs since the obs epoch, [tid] = recording domain id). *)
+
+  val dump : string -> unit
+  (** Write {!dump_json} to a file. *)
+
+  val install_crash_hooks : unit -> unit
+  (** Install the [at_exit] hook and SIGTERM/SIGINT/SIGQUIT handlers that
+      dump to {!set_dump_path} (signal handlers re-deliver the signal with
+      default disposition after dumping, so exit status is preserved).
+      Idempotent; never installed implicitly. *)
 end
 
 (** {2 Introspection (used by the exporters and the test suite)} *)
@@ -130,6 +218,12 @@ type span_stat = {
   count : int;
   total_s : float;  (** inclusive wall-clock seconds, summed over [count] *)
   self_s : float;  (** exclusive: [total_s] minus the children's [total_s] *)
+  p50_s : float;
+      (** median single-occurrence duration, from the path's log-linear
+          histogram (quantized ≤ 1 % high); open-only paths fall back to a
+          transient histogram over the live durations *)
+  p90_s : float;
+  p99_s : float;
   alloc_w : float;
       (** inclusive words allocated (minor + major - promoted, the
           [Gc.allocated_bytes] definition), summed over [count] *)
@@ -152,16 +246,26 @@ val counters : unit -> (string * int) list
 val gauges : unit -> (string * float) list
 (** Registered gauges sorted by name. *)
 
+val histograms : unit -> (string * Hdr.t) list
+(** Registered histograms sorted by name, as merged snapshots. *)
+
+val span_histograms : unit -> (string * Hdr.t) list
+(** Per-span-path duration histograms (nanoseconds) sorted by path, as
+    copies. *)
+
 (** {2 Exporters} *)
 
 val report : out_channel -> unit
 (** Indented human-readable span tree: count, inclusive and exclusive
-    times, inclusive and exclusive allocation, minor/major GCs, per-span
-    counters, followed by global counters and gauges. *)
+    times, p50/p90/p99, inclusive and exclusive allocation, minor/major
+    GCs, per-span counters, followed by global counters, gauges and
+    histograms. *)
 
 val metrics_json : unit -> string
 (** Schema-versioned metrics object (see METRICS_SCHEMA.md):
-    [{"schema": "maxtruss-obs-metrics", "version": 2, ...}]. *)
+    [{"schema": "maxtruss-obs-metrics", "version": 3, ...}].  Span rows
+    carry [p50_s]/[p90_s]/[p99_s]; a top-level ["histograms"] section
+    (subsections ["named"] and ["spans"]) appears when non-empty. *)
 
 val write_metrics : string -> unit
 
@@ -170,3 +274,14 @@ val chrome_trace_json : unit -> string
     occurrence; timestamps are microseconds since the trace epoch. *)
 
 val write_chrome_trace : string -> unit
+
+val openmetrics : unit -> string
+(** OpenMetrics / Prometheus text exposition: counters as
+    [maxtruss_<name>_total], gauges as [maxtruss_<name>], registered
+    histograms as [maxtruss_<name>] histogram families and span durations
+    as the single family [maxtruss_span_duration_ns] labelled by [path] —
+    each with cumulative [_bucket{le=...}] plus [_sum]/[_count] series.
+    Metric names are sanitized to [[a-zA-Z0-9_:]]; output is name-sorted
+    and ends with [# EOF]. *)
+
+val write_openmetrics : string -> unit

@@ -13,14 +13,21 @@ type entry = {
   tol : float option;
 }
 
-type t = { entries : entry list }
+type t = {
+  entries : entry list;  (* the current (most recent) run *)
+  history : entry list list;  (* previous runs, oldest first; excludes entries *)
+}
 
 let schema_name = "maxtruss-perf-baseline"
 
-(* v2 adds the optional per-entry "tol" override and gates on alloc_w; v1
-   files (no "tol" anywhere) are still read, defaulting every override to
-   the comparator's global tolerance. *)
-let schema_version = 2
+(* v2 adds the optional per-entry "tol" override and gates on alloc_w; v3
+   adds the bounded "history" of previous runs so the gate can compare
+   against a trend instead of one snapshot.  v1 files (no "tol" anywhere)
+   and v2 files (no "history") are still read, defaulting the override to
+   the comparator's global tolerance and the history to empty. *)
+let schema_version = 3
+
+let default_history_limit = 8
 
 (* --- robust statistics -------------------------------------------------- *)
 
@@ -54,27 +61,46 @@ let of_samples ?tol ~name ~ns ~alloc_w () =
 
 let fnum f = if Float.is_finite f then Printf.sprintf "%.3f" f else "0"
 
+let entry_json ~indent e =
+  Printf.sprintf
+    "%s{ \"name\": \"%s\", \"median_ns\": %s, \"mad_ns\": %s, \"samples\": %d, \
+     \"alloc_w\": %s%s }"
+    indent
+    (Json_min.escape e.name) (fnum e.median_ns) (fnum e.mad_ns) e.samples
+    (fnum e.alloc_w)
+    (match e.tol with
+    | None -> ""
+    | Some tol -> Printf.sprintf ", \"tol\": %s" (fnum tol))
+
+let entries_json buf ~indent entries =
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "[";
+  List.iteri
+    (fun i e -> add "%s\n%s" (if i = 0 then "" else ",") (entry_json ~indent e))
+    entries;
+  if entries <> [] then add "\n%s" (String.sub indent 0 (String.length indent - 2));
+  add "]"
+
 let to_json t =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
   add "  \"schema\": \"%s\",\n" schema_name;
   add "  \"version\": %d,\n" schema_version;
-  add "  \"entries\": [";
-  List.iteri
-    (fun i e ->
-      add
-        "%s\n    { \"name\": \"%s\", \"median_ns\": %s, \"mad_ns\": %s, \"samples\": \
-         %d, \"alloc_w\": %s%s }"
-        (if i = 0 then "" else ",")
-        (Json_min.escape e.name) (fnum e.median_ns) (fnum e.mad_ns) e.samples
-        (fnum e.alloc_w)
-        (match e.tol with
-        | None -> ""
-        | Some tol -> Printf.sprintf ", \"tol\": %s" (fnum tol)))
-    t.entries;
-  add "%s  ]\n" (if t.entries = [] then "" else "\n");
-  add "}\n";
+  add "  \"entries\": ";
+  entries_json buf ~indent:"    " t.entries;
+  (* "history" is omitted when empty so a freshly recorded file stays in
+     the familiar single-run shape. *)
+  if t.history <> [] then begin
+    add ",\n  \"history\": [";
+    List.iteri
+      (fun i run ->
+        add "%s\n    " (if i = 0 then "" else ",");
+        entries_json buf ~indent:"      " run)
+      t.history;
+    add "\n  ]"
+  end;
+  add "\n}\n";
   Buffer.contents buf
 
 let of_json s =
@@ -87,7 +113,9 @@ let of_json s =
     | None, _ | Some None, _ -> Error "schema mismatch: missing \"schema\" field"
     | _, v
       when (let ver = Json_min.num_or (-1.) v in
-            ver <> 1. && ver <> float_of_int schema_version) ->
+            ver < 1.
+            || ver > float_of_int schema_version
+            || Float.rem ver 1. <> 0.) ->
       Error
         (Printf.sprintf "schema version mismatch: expected 1..%d, got %g" schema_version
            (Json_min.num_or (-1.) v))
@@ -111,10 +139,31 @@ let of_json s =
               }
           | _ -> None
         in
-        let entries = List.map parse_entry items in
-        match List.exists (( = ) None) entries with
-        | true -> Error "baseline entry without a \"name\" field"
-        | false -> Ok { entries = List.filter_map Fun.id entries })
+        let parse_run items =
+          let es = List.map parse_entry items in
+          if List.exists (( = ) None) es then None
+          else Some (List.filter_map Fun.id es)
+        in
+        match parse_run items with
+        | None -> Error "baseline entry without a \"name\" field"
+        | Some entries -> (
+          match Json_min.member "history" j with
+          | None -> Ok { entries; history = [] }
+          | Some hj -> (
+            match Json_min.to_arr hj with
+            | None -> Error "baseline \"history\" is not an array"
+            | Some runs ->
+              let parsed =
+                List.map
+                  (fun run ->
+                    match Json_min.to_arr run with
+                    | None -> None
+                    | Some items -> parse_run items)
+                  runs
+              in
+              if List.exists (( = ) None) parsed then
+                Error "malformed \"history\" run in baseline"
+              else Ok { entries; history = List.filter_map Fun.id parsed })))
       | _ -> Error "baseline without an \"entries\" array"))
 
 let write path t =
@@ -126,6 +175,48 @@ let read path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | contents -> of_json contents
+
+(* --- history ------------------------------------------------------------ *)
+
+(* Keep the last [n] elements of [l] (which is oldest-first). *)
+let keep_last n l =
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let push ?(limit = default_history_limit) t ~fresh =
+  let limit = max 0 limit in
+  {
+    entries = fresh.entries;
+    history = keep_last limit (t.history @ [ t.entries ]);
+  }
+
+(* Trend baseline across history @ [entries]: per kernel, the median of the
+   per-run medians and the median of the per-run MADs (so one outlier run —
+   a descheduled CI box — moves the gate by at most one rank), with
+   samples/tol taken from the most recent run that has the kernel.  Kernels
+   absent from the latest run but present in old history are dropped: the
+   comparator would otherwise report long-deleted kernels as Removed
+   forever. *)
+let trend t =
+  let runs = t.history @ [ t.entries ] in
+  let entries =
+    List.map
+      (fun latest ->
+        let occurrences =
+          List.filter_map
+            (fun run -> List.find_opt (fun e -> e.name = latest.name) run)
+            runs
+        in
+        let arr f = Array.of_list (List.map f occurrences) in
+        {
+          latest with
+          median_ns = median (arr (fun e -> e.median_ns));
+          mad_ns = median (arr (fun e -> e.mad_ns));
+          alloc_w = median (arr (fun e -> e.alloc_w));
+        })
+      t.entries
+  in
+  { entries; history = [] }
 
 (* --- comparison --------------------------------------------------------- *)
 

@@ -11,8 +11,11 @@
     Version 2 adds an optional per-entry ["tol"] field that overrides the
     comparator's global relative tolerance for that kernel (noisy kernels
     can carry a looser gate without loosening the whole suite), and the
-    comparator now also gates on [alloc_w].  Version-1 files are still
-    read; their entries simply have no override. *)
+    comparator now also gates on [alloc_w].  Version 3 adds an optional
+    bounded ["history"] of previous runs, letting [--check] gate against
+    the {!trend} across them instead of a single (possibly lucky)
+    snapshot.  Version-1 and -2 files are still read; their entries simply
+    have no override / no history. *)
 
 type entry = {
   name : string;  (** kernel id, e.g. ["kernels/csr_support\@gowalla"] *)
@@ -25,11 +28,19 @@ type entry = {
       (** per-kernel relative tolerance overriding {!compare}'s [rel_tol] *)
 }
 
-type t = { entries : entry list }
+type t = {
+  entries : entry list;  (** the current (most recent) run *)
+  history : entry list list;
+      (** previous runs, oldest first, bounded by {!push}'s [limit];
+          does not include [entries] *)
+}
 
 val schema_name : string
 
 val schema_version : int
+
+val default_history_limit : int
+(** How many previous runs {!push} retains by default (8). *)
 
 (** {2 Robust statistics} *)
 
@@ -57,6 +68,24 @@ val write : string -> t -> unit
 
 val read : string -> (t, string) result
 (** File read + {!of_json}; I/O failures are returned as [Error]. *)
+
+(** {2 History} *)
+
+val push : ?limit:int -> t -> fresh:t -> t
+(** [push t ~fresh] is the baseline after recording a new run on top of
+    [t]: [fresh.entries] become the current entries, [t.entries] joins the
+    history, and the history is trimmed to its last [limit]
+    (default {!default_history_limit}) runs.  [fresh.history] is
+    ignored. *)
+
+val trend : t -> t
+(** Collapse [history @ [entries]] into a single-run baseline: per kernel
+    (keyed by the current entries — kernels no longer benched are
+    dropped), the median of the per-run medians, the median of the
+    per-run MADs and the median of the per-run allocations, with
+    [samples]/[tol] from the latest run.  This is what [--check] compares
+    against when the baseline carries history: one outlier run shifts the
+    gate by at most one rank. *)
 
 (** {2 Comparison} *)
 

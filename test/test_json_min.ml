@@ -1,0 +1,111 @@
+(* Edge cases of the zero-dependency JSON layer every exporter and reader
+   leans on: escape-sequence decoding (incl. surrogate pairs), nesting
+   depth, strictness about trailing garbage and raw control characters,
+   and the documented duplicate-key / accessor behavior. *)
+
+let ok s =
+  match Json_min.parse s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "expected %S to parse, got: %s" s e
+
+let rejects name s =
+  match Json_min.parse s with
+  | Ok _ -> Alcotest.failf "%s: %S parsed but must be rejected" name s
+  | Error _ -> ()
+
+let str =
+  Alcotest.testable (fun ppf s -> Format.fprintf ppf "%S" s) String.equal
+
+let test_surrogate_pairs () =
+  (* the surrogate pair D83D/DE00 encodes U+1F600 -> 4-byte UTF-8 *)
+  (match ok {|"\ud83d\ude00"|} with
+  | Json_min.Str s ->
+    Alcotest.check str "grinning face decodes to UTF-8" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "not a string");
+  (* BMP escape still works alongside *)
+  (match ok {|"a\u00e9b"|} with
+  | Json_min.Str s -> Alcotest.check str "BMP escape" "a\xc3\xa9b" s
+  | _ -> Alcotest.fail "not a string");
+  (* a high surrogate must be followed by a low one *)
+  rejects "lone high surrogate" {|"\ud83d"|};
+  rejects "high surrogate + ordinary escape" {|"\ud83d\n"|};
+  rejects "high surrogate + non-escape" {|"\ud83dx"|};
+  rejects "high surrogate + non-surrogate u-escape" {|"\ud83d\u0041"|};
+  rejects "lone low surrogate" {|"\ude00"|}
+
+let test_standard_escapes () =
+  match ok {|"\" \\ \/ \b \f \n \r \t"|} with
+  | Json_min.Str s ->
+    Alcotest.check str "all named escapes" "\" \\ / \b \012 \n \r \t" s
+  | _ -> Alcotest.fail "not a string"
+
+let test_deep_nesting () =
+  let depth = 200 in
+  let doc =
+    String.concat "" (List.init depth (fun _ -> "["))
+    ^ "0"
+    ^ String.concat "" (List.init depth (fun _ -> "]"))
+  in
+  let rec unwrap n j =
+    match (n, j) with
+    | 0, Json_min.Num v -> Alcotest.(check (float 0.)) "innermost value" 0. v
+    | n, Json_min.Arr [ inner ] -> unwrap (n - 1) inner
+    | _ -> Alcotest.fail "unexpected shape while unwrapping"
+  in
+  unwrap depth (ok doc)
+
+let test_trailing_garbage () =
+  rejects "garbage after object" {|{"a": 1} x|};
+  rejects "second document" {|{} {}|};
+  rejects "digit after number" "1 2";
+  rejects "comma after array" "[1],";
+  (* trailing whitespace is NOT garbage *)
+  ignore (ok "{\"a\": 1}  \n\t ")
+
+let test_control_chars_rejected () =
+  (* raw control characters inside strings must be escaped *)
+  rejects "raw newline in string" "\"a\nb\"";
+  rejects "raw tab in string" "\"a\tb\"";
+  rejects "raw NUL in string" "\"a\x00b\"";
+  (* escaped forms of the same are fine *)
+  match ok {|"a\nb"|} with
+  | Json_min.Str s -> Alcotest.check str "escaped newline" "a\nb" s
+  | _ -> Alcotest.fail "not a string"
+
+let test_escape_roundtrip () =
+  (* whatever escape emits, parse must give back verbatim *)
+  List.iter
+    (fun raw ->
+      let doc = "\"" ^ Json_min.escape raw ^ "\"" in
+      match ok doc with
+      | Json_min.Str s -> Alcotest.check str ("round-trip of " ^ String.escaped raw) raw s
+      | _ -> Alcotest.fail "not a string")
+    [ "plain"; "quote\"back\\slash"; "ctl\x01\x1f"; "tab\tnl\ncr\r"; "caf\xc3\xa9" ]
+
+let test_duplicate_keys_and_accessors () =
+  let j = ok {|{"k": 1, "k": 2, "l": [true, null, "s"]}|} in
+  (* documented: first occurrence wins under member *)
+  Alcotest.(check (float 0.))
+    "duplicate key keeps first" 1.
+    Json_min.(num_or (-1.) (member "k" j));
+  Alcotest.(check (float 0.)) "missing member defaults" 9. Json_min.(num_or 9. (member "zzz" j));
+  (match Json_min.(member "l" j |> Option.map to_arr) with
+  | Some (Some [ Bool true; Null; Str "s" ]) -> ()
+  | _ -> Alcotest.fail "array member shape");
+  (* accessors are total: shape mismatches are None, never exceptions *)
+  Alcotest.(check bool) "to_num on string" true (Json_min.to_num (Json_min.Str "x") = None);
+  Alcotest.(check bool) "member on array" true (Json_min.member "k" (Json_min.Arr []) = None);
+  Alcotest.(check bool) "to_int truncation guard" true
+    (Json_min.to_int (Json_min.Num 3.) = Some 3)
+
+let suite =
+  [
+    Alcotest.test_case "surrogate-pair escapes" `Quick test_surrogate_pairs;
+    Alcotest.test_case "standard escapes" `Quick test_standard_escapes;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+    Alcotest.test_case "trailing garbage rejected" `Quick test_trailing_garbage;
+    Alcotest.test_case "raw control chars rejected" `Quick test_control_chars_rejected;
+    Alcotest.test_case "escape/parse round-trip" `Quick test_escape_roundtrip;
+    Alcotest.test_case "duplicate keys + total accessors" `Quick
+      test_duplicate_keys_and_accessors;
+  ]

@@ -1,3 +1,23 @@
+(* Child mode for the flight-recorder abort test: Unix.fork is illegal
+   once any domain has been spawned, so test_obs re-execs this binary
+   with MAXTRUSS_FLIGHT_CHILD=<dump path> and we run the doomed scenario
+   instead of the suite (it kills itself with SIGTERM; never returns). *)
+let () =
+  match Sys.getenv_opt "MAXTRUSS_FLIGHT_CHILD" with
+  | Some dump -> Test_obs.flight_recorder_child dump
+  | None -> ()
+
+(* CI post-mortem: MAXTRUSS_FLIGHT_RECORD=N arms the flight recorder for
+   the whole suite run, so a hung or killed CI job leaves a Chrome-trace
+   tail (flight-record.json) that the workflow uploads as an artifact. *)
+let () =
+  match Sys.getenv_opt "MAXTRUSS_FLIGHT_RECORD" with
+  | Some n when (match int_of_string_opt n with Some n -> n > 0 | None -> false) ->
+    Obs.Flight_recorder.configure ~capacity:(int_of_string n);
+    Obs.Flight_recorder.set_dump_path (Some "flight-record.json");
+    Obs.Flight_recorder.install_crash_hooks ()
+  | _ -> ()
+
 let () =
   Alcotest.run "maxtruss"
     [
@@ -36,6 +56,7 @@ let () =
       ("outcome", Test_outcome.suite);
       ("weighted", Test_weighted.suite);
       ("datasets", Test_datasets.suite);
+      ("json_min", Test_json_min.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
       ("perf_baseline", Test_perf_baseline.suite);

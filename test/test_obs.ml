@@ -236,10 +236,38 @@ let test_disabled_no_footprint () =
   Alcotest.(check bool) "enter returns the no-op span" true (sp == Obs.Span.none);
   (* an instrumented end-to-end run must not register anything either *)
   ignore (Pcfr.pcfr ~g:(Helpers.fig1 ()) ~k:4 ~budget:2 ());
+  let h = Obs.Histogram.make "test.disabled_hist" in
+  Obs.Histogram.observe h 123;
+  let flight_before = Obs.Flight_recorder.recorded () in
+  Obs.Span.with_ "z" (fun () -> ());
   Alcotest.(check (list (pair string int))) "no counters registered" [] (Obs.counters ());
   Alcotest.(check int) "gauge registry empty" 0 (List.length (Obs.gauges ()));
   Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.span_stats ()));
-  Alcotest.(check int) "counter value stays 0" 0 (Obs.Counter.value c)
+  Alcotest.(check int) "counter value stays 0" 0 (Obs.Counter.value c);
+  Alcotest.(check int) "histogram registry empty" 0 (List.length (Obs.histograms ()));
+  Alcotest.(check int) "histogram records nothing" 0 (Obs.Histogram.count h);
+  Alcotest.(check int) "no span histograms" 0 (List.length (Obs.span_histograms ()));
+  Alcotest.(check int)
+    "flight ring untouched" flight_before
+    (Obs.Flight_recorder.recorded ());
+  (* the disabled fast path must not allocate: run each primitive in a
+     tight loop and require zero minor-heap growth (the loop itself is
+     allocation-free; any slack would mean a hidden box on the hot path) *)
+  let sp0 = Obs.Span.enter "warm" in
+  Obs.Span.exit sp0;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Obs.Counter.incr c;
+    Obs.Gauge.set g 1.0;
+    Obs.Histogram.observe h 7;
+    let sp = Obs.Span.enter "hot" in
+    Obs.Span.exit sp
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled loop allocation-free (got %.0f words)" allocated)
+    true
+    (allocated <= 16.)
 
 let test_exported_json_parses () =
   with_obs (fun () ->
@@ -261,7 +289,7 @@ let test_metrics_contract () =
     (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains m needle))
     [
       "\"schema\": \"maxtruss-obs-metrics\"";
-      "\"version\": 2";
+      "\"version\": 3";
       "\"alloc_w\"";
       "\"self_alloc_w\"";
       "gc.peak_major_heap_words";
@@ -348,7 +376,7 @@ let test_alloc_attribution () =
   check_json m;
   List.iter
     (fun needle -> Alcotest.(check bool) (needle ^ " in metrics") true (contains m needle))
-    [ "\"version\": 2"; "\"alloc_w\""; "\"self_alloc_w\""; "\"promoted_w\"";
+    [ "\"version\": 3"; "\"alloc_w\""; "\"self_alloc_w\""; "\"promoted_w\"";
       "\"minor_gcs\""; "\"major_gcs\""; "gc.peak_major_heap_words" ]
 
 let test_v2_fields_absent_when_disabled () =
@@ -357,7 +385,7 @@ let test_v2_fields_absent_when_disabled () =
   Obs.Span.with_ "x" (fun () -> ignore (Sys.opaque_identity (Array.make 1000 0)));
   let m = Obs.metrics_json () in
   check_json m;
-  Alcotest.(check bool) "still schema v2" true (contains m "\"version\": 2");
+  Alcotest.(check bool) "still versioned schema" true (contains m "\"version\": 3");
   Alcotest.(check bool) "no alloc fields" false (contains m "alloc_w");
   Alcotest.(check bool) "no peak gauge" false (contains m "gc.peak_major_heap_words")
 
@@ -373,6 +401,404 @@ let test_reset_invalidates_handles () =
   Obs.Counter.incr c;
   Alcotest.(check (list (pair string int)))
     "handle re-registers after reset" [ ("test.reset_ctr", 1) ] (Obs.counters ())
+
+(* --- histograms --- *)
+
+let test_hdr_histogram () =
+  let h = Hdr.create () in
+  Alcotest.(check int) "empty count" 0 (Hdr.count h);
+  Alcotest.(check int) "empty quantile" 0 (Hdr.quantile h 0.5);
+  (* values below 128 land in unit-width slots: everything is exact *)
+  List.iter (Hdr.observe h) [ 3; 3; 5; 100; 127 ];
+  Alcotest.(check int) "count" 5 (Hdr.count h);
+  Alcotest.(check int) "sum" 238 (Hdr.sum h);
+  Alcotest.(check int) "min" 3 (Hdr.min_value h);
+  Alcotest.(check int) "max" 127 (Hdr.max_value_seen h);
+  Alcotest.(check int) "p50 exact in unit range" 5 (Hdr.quantile h 0.5);
+  Alcotest.(check int) "p0 -> min slot" 3 (Hdr.quantile h 0.);
+  Alcotest.(check int) "p100 -> max" 127 (Hdr.quantile h 1.);
+  (* log-linear resolution: a quantile is never below the recorded value
+     and less than 1% above it, at any magnitude *)
+  List.iter
+    (fun v ->
+      let h = Hdr.create () in
+      Hdr.observe h v;
+      let q = Hdr.quantile h 0.5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "q >= v for %d" v)
+        true (q >= v);
+      Alcotest.(check bool)
+        (Printf.sprintf "q within 1%% for %d (got %d)" v q)
+        true
+        (float_of_int q <= 1.01 *. float_of_int v))
+    [ 1; 127; 128; 129; 1000; 123_456; 987_654_321; 4_000_000_000_000 ];
+  (* clamping keeps observe total *)
+  let c = Hdr.create () in
+  Hdr.observe c (-5);
+  Hdr.observe c max_int;
+  Alcotest.(check int) "negative clamps to 0" 0 (Hdr.min_value c);
+  Alcotest.(check int) "huge clamps to max_value" Hdr.max_value (Hdr.max_value_seen c);
+  (* merge adds counts/sums and the bucket lists stay cumulative *)
+  let a = Hdr.create () and b = Hdr.create () in
+  List.iter (Hdr.observe a) [ 10; 20; 30 ];
+  List.iter (Hdr.observe b) [ 20; 40_000 ];
+  Hdr.merge ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Hdr.count a);
+  Alcotest.(check int) "merged sum" 40_080 (Hdr.sum a);
+  Alcotest.(check int) "merged min" 10 (Hdr.min_value a);
+  let buckets = Hdr.buckets a in
+  Alcotest.(check bool) "buckets non-empty" true (buckets <> []);
+  let last_cum = List.fold_left (fun _ (_, c) -> c) 0 buckets in
+  Alcotest.(check int) "final cumulative = count" (Hdr.count a) last_cum;
+  let rec monotone = function
+    | (ub1, c1) :: ((ub2, c2) :: _ as rest) ->
+      ub1 < ub2 && c1 <= c2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets ascending + cumulative" true (monotone buckets)
+
+let test_registered_histogram () =
+  with_obs @@ fun () ->
+  let h = Obs.Histogram.make "test.latency_ns" in
+  List.iter (Obs.Histogram.observe h) [ 100; 200; 300; 400; 50_000 ];
+  Alcotest.(check int) "count" 5 (Obs.Histogram.count h);
+  Alcotest.(check int) "sum" 51_000 (Obs.Histogram.sum h);
+  Alcotest.(check bool) "median in range" true
+    (let q = Obs.Histogram.quantile h 0.5 in
+     q >= 300 && q <= 303);
+  (match Obs.histograms () with
+  | [ (name, snap) ] ->
+    Alcotest.(check string) "registered under its name" "test.latency_ns" name;
+    Alcotest.(check int) "snapshot count" 5 (Hdr.count snap)
+  | l -> Alcotest.failf "expected 1 registered histogram, got %d" (List.length l));
+  (* observes from a worker domain land in that domain's shard and merge *)
+  let d = Domain.spawn (fun () -> Obs.Histogram.observe h 999) in
+  Domain.join d;
+  Alcotest.(check int) "cross-domain observe merged" 6 (Obs.Histogram.count h);
+  Obs.reset ();
+  Obs.set_enabled true;
+  Alcotest.(check int) "reset zeroes the handle" 0 (Obs.Histogram.count h);
+  Alcotest.(check int) "registry cleared" 0 (List.length (Obs.histograms ()))
+
+let test_span_quantiles () =
+  with_obs @@ fun () ->
+  for _ = 1 to 20 do
+    Obs.Span.with_ "q" (fun () -> spin 0.001)
+  done;
+  Obs.Span.with_ "q" (fun () -> spin 0.01);
+  let s = find_stat (Obs.span_stats ()) "q" in
+  Alcotest.(check int) "count" 21 s.Obs.count;
+  Alcotest.(check bool) "p50 >= 1ms" true (s.Obs.p50_s >= 0.001);
+  Alcotest.(check bool) "p50 <= p90 <= p99" true
+    (s.Obs.p50_s <= s.Obs.p90_s && s.Obs.p90_s <= s.Obs.p99_s);
+  (* the single 10ms outlier IS the 99th percentile of 21 samples *)
+  Alcotest.(check bool) "p99 sees the outlier" true (s.Obs.p99_s >= 0.01);
+  Alcotest.(check bool) "p50 robust to the outlier" true (s.Obs.p50_s < 0.01);
+  (* the path histogram backing the row carries the same count *)
+  (match List.assoc_opt "q" (Obs.span_histograms ()) with
+  | Some h -> Alcotest.(check int) "path histogram count" 21 (Hdr.count h)
+  | None -> Alcotest.fail "span histogram for path \"q\" missing");
+  (* v3 metrics carry the quantiles and the histograms section *)
+  let m = Obs.metrics_json () in
+  check_json m;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in metrics") true (contains m needle))
+    [ "\"p50_s\""; "\"p90_s\""; "\"p99_s\""; "\"histograms\""; "\"spans\"" ]
+
+(* Spans recorded inside a Domain_scope must feed the same path histograms
+   as owner-side spans, with the merge-time prefix. *)
+let test_scope_spans_feed_histograms () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ "host" (fun () ->
+      let sc = Obs.Domain_scope.create () in
+      let d =
+        Domain.spawn (fun () ->
+            Obs.Domain_scope.run sc (fun () ->
+                Obs.Span.with_ "task" (fun () -> spin 0.001)))
+      in
+      Domain.join d;
+      Obs.Domain_scope.merge sc);
+  match List.assoc_opt "host/task" (Obs.span_histograms ()) with
+  | Some h ->
+    Alcotest.(check int) "merged span fed its path histogram" 1 (Hdr.count h);
+    Alcotest.(check bool) "duration recorded (>= 1ms)" true
+      (Hdr.quantile h 1.0 >= 1_000_000)
+  | None -> Alcotest.fail "span histogram for merged path \"host/task\" missing"
+
+(* --- OpenMetrics exposition --- *)
+
+(* Minimal exposition-format line parser: returns (series, labels, value)
+   samples and the comment lines, failing on anything malformed. *)
+let parse_openmetrics text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let samples = ref [] in
+  let comments = ref [] in
+  List.iter
+    (fun line ->
+      if line.[0] = '#' then comments := line :: !comments
+      else
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "openmetrics line without a value: %S" line
+        | Some i ->
+          let series = String.sub line 0 i in
+          let value = String.sub line (i + 1) (String.length line - i - 1) in
+          let value =
+            if value = "+Inf" then infinity
+            else
+              match float_of_string_opt value with
+              | Some v -> v
+              | None -> Alcotest.failf "non-numeric sample value in %S" line
+          in
+          let name, labels =
+            match String.index_opt series '{' with
+            | None -> (series, "")
+            | Some j ->
+              if series.[String.length series - 1] <> '}' then
+                Alcotest.failf "unterminated label set in %S" line;
+              ( String.sub series 0 j,
+                String.sub series (j + 1) (String.length series - j - 2) )
+          in
+          String.iter
+            (fun c ->
+              match c with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+              | c -> Alcotest.failf "bad metric-name char %C in %S" c line)
+            name;
+          samples := (name, labels, value) :: !samples)
+    lines;
+  (* !comments is newest-first: the last comment line must be the EOF marker *)
+  (match !comments with
+  | "# EOF" :: _ -> ()
+  | _ -> Alcotest.fail "exposition does not end with # EOF");
+  (List.rev !samples, List.rev !comments)
+
+let test_openmetrics_roundtrip () =
+  with_obs @@ fun () ->
+  let c = Obs.Counter.make "test.om_ctr" in
+  let g = Obs.Gauge.make "test.om-gauge" in
+  let h = Obs.Histogram.make "test.om_hist" in
+  Obs.Span.with_ "om.span" (fun () ->
+      Obs.Counter.add c 7;
+      spin 0.001);
+  Obs.Gauge.set g 2.5;
+  List.iter (Obs.Histogram.observe h) [ 10; 20; 30 ];
+  let text = Obs.openmetrics () in
+  let samples, _ = parse_openmetrics text in
+  let find name labels =
+    match
+      List.find_opt (fun (n, l, _) -> n = name && l = labels) samples
+    with
+    | Some (_, _, v) -> v
+    | None -> Alcotest.failf "sample %s{%s} missing from exposition" name labels
+  in
+  (* counters: sanitized name + _total suffix, value = registry total *)
+  Alcotest.(check (float 0.)) "counter total" 7. (find "maxtruss_test_om_ctr_total" "");
+  (* gauge: '-' sanitized to '_' *)
+  Alcotest.(check (float 0.)) "gauge value" 2.5 (find "maxtruss_test_om_gauge" "");
+  (* histogram family: _count/_sum agree with the registry *)
+  Alcotest.(check (float 0.)) "hist count" 3. (find "maxtruss_test_om_hist_count" "");
+  Alcotest.(check (float 0.)) "hist sum" 60. (find "maxtruss_test_om_hist_sum" "");
+  Alcotest.(check (float 0.)) "hist +Inf bucket" 3.
+    (find "maxtruss_test_om_hist_bucket" "le=\"+Inf\"");
+  (* span-duration family: totals agree with the metrics JSON histograms *)
+  let m = Obs.metrics_json () in
+  check_json m;
+  let j = match Json_min.parse m with Ok j -> j | Error e -> Alcotest.fail e in
+  let span_hist_json path =
+    match
+      Json_min.(member "histograms" j |> Option.map (member "spans"))
+    with
+    | Some (Some spans) -> (
+      match Json_min.member path spans with
+      | Some h -> h
+      | None -> Alcotest.failf "path %S missing from metrics histograms" path)
+    | _ -> Alcotest.fail "metrics JSON lacks the histograms.spans section"
+  in
+  let hj = span_hist_json "om.span" in
+  let count_json = Json_min.(num_or (-1.) (member "count" hj)) in
+  let sum_json = Json_min.(num_or (-1.) (member "sum" hj)) in
+  let om_count = find "maxtruss_span_duration_ns_count" "path=\"om.span\"" in
+  let om_sum = find "maxtruss_span_duration_ns_sum" "path=\"om.span\"" in
+  Alcotest.(check (float 0.)) "span count: OpenMetrics = JSON" count_json om_count;
+  Alcotest.(check (float 0.)) "span sum: OpenMetrics = JSON" sum_json om_sum;
+  (* per-family _bucket series are cumulative and end at _count *)
+  let buckets =
+    List.filter_map
+      (fun (n, l, v) ->
+        if n = "maxtruss_test_om_hist_bucket" then Some (l, v) else None)
+      samples
+  in
+  let values = List.map snd buckets in
+  Alcotest.(check bool) "bucket series present" true (List.length values >= 2);
+  Alcotest.(check bool) "bucket counts monotone" true
+    (let rec mono = function
+       | a :: (b :: _ as r) -> a <= b && mono r
+       | _ -> true
+     in
+     mono values)
+
+(* --- flight recorder --- *)
+
+let test_flight_recorder_ring () =
+  with_obs @@ fun () ->
+  (* restore whatever ring was armed before (MAXTRUSS_FLIGHT_RECORD in
+     CI) rather than disabling it for the rest of the process *)
+  let prior = Obs.Flight_recorder.capacity () in
+  Obs.Flight_recorder.configure ~capacity:4;
+  Fun.protect ~finally:(fun () -> Obs.Flight_recorder.configure ~capacity:prior)
+  @@ fun () ->
+  for i = 1 to 7 do
+    Obs.Span.with_ (Printf.sprintf "fr%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "all closes recorded" 7 (Obs.Flight_recorder.recorded ());
+  Alcotest.(check int) "capacity" 4 (Obs.Flight_recorder.capacity ());
+  let dump = Obs.Flight_recorder.dump_json () in
+  check_json dump;
+  (* only the last 4 spans survive, oldest first *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " retained") true (contains dump name))
+    [ "fr4"; "fr5"; "fr6"; "fr7" ];
+  Alcotest.(check bool) "older span evicted" false (contains dump "\"fr3\"");
+  (* the ring survives Obs.reset: it is a process-lifetime tail *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  Alcotest.(check int) "ring survives reset" 7 (Obs.Flight_recorder.recorded ())
+
+(* Forced abort: a child process configures the recorder, installs the
+   crash hooks, runs spans, then SIGTERMs itself mid-run.  The parent
+   must find a loadable Chrome-trace dump with the last N spans, and the
+   child must still die by SIGTERM (the handler re-delivers it).
+
+   [Unix.fork] is off-limits once any domain has been spawned (OCaml 5),
+   and earlier tests spawn domains — so the child is a re-exec of this
+   very test binary, short-circuited by [test_main] into
+   {!flight_recorder_child} via the MAXTRUSS_FLIGHT_CHILD env var. *)
+let flight_recorder_child dump =
+  Obs.set_enabled true;
+  Obs.Flight_recorder.configure ~capacity:8;
+  Obs.Flight_recorder.set_dump_path (Some dump);
+  Obs.Flight_recorder.install_crash_hooks ();
+  for i = 1 to 12 do
+    Obs.Span.with_ (Printf.sprintf "doomed%d" i) (fun () -> ())
+  done;
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  (* unreachable: the handler re-delivers with the default disposition *)
+  Stdlib.exit 42
+
+let test_flight_recorder_abort () =
+  let dir = Filename.temp_file "flightrec" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let dump = Filename.concat dir "flight.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dump then Sys.remove dump;
+      Unix.rmdir dir)
+  @@ fun () ->
+  let env =
+    Array.append (Unix.environment ())
+      [| "MAXTRUSS_FLIGHT_CHILD=" ^ dump |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+    | Unix.WSIGNALED s when s = Sys.sigterm -> ()
+    | Unix.WSIGNALED s -> Alcotest.failf "child died by unexpected signal %d" s
+    | Unix.WEXITED c -> Alcotest.failf "child exited %d instead of dying by SIGTERM" c
+    | Unix.WSTOPPED _ -> Alcotest.fail "child stopped");
+    Alcotest.(check bool) "dump written by the signal hook" true (Sys.file_exists dump);
+    let contents = In_channel.with_open_bin dump In_channel.input_all in
+    check_json contents;
+    (match Json_min.parse contents with
+    | Error e -> Alcotest.failf "dump does not parse: %s" e
+    | Ok j -> (
+      match Json_min.(member "traceEvents" j |> Option.map to_arr) with
+      | Some (Some events) ->
+        let xs =
+          List.filter
+            (fun e ->
+              match Json_min.(member "ph" e |> Option.map to_str) with
+              | Some (Some "X") -> true
+              | _ -> false)
+            events
+        in
+        Alcotest.(check int) "last 8 spans retained" 8 (List.length xs);
+        (* oldest retained span is doomed5, newest doomed12 *)
+        Alcotest.(check bool) "tail is the most recent spans" true
+          (contains contents "doomed12" && contains contents "doomed5"
+          && not (contains contents "doomed4"))
+      | _ -> Alcotest.fail "dump lacks a traceEvents array"))
+
+(* --- cross-domain exits --- *)
+
+let test_cross_domain_exit_dropped () =
+  with_obs @@ fun () ->
+  let sp = Obs.Span.enter "owned" in
+  let d = Domain.spawn (fun () -> Obs.Span.exit sp) in
+  Domain.join d;
+  (* the foreign exit was dropped: the span is still open on the owner *)
+  Alcotest.(check (list (pair string int)))
+    "drop surfaced as a counter"
+    [ ("obs.cross_domain_exits", 1) ]
+    (Obs.counters ());
+  Obs.Span.exit sp;
+  let s = find_stat (Obs.span_stats ()) "owned" in
+  Alcotest.(check int) "owner exit still closes it" 1 s.Obs.count;
+  Alcotest.(check bool) "span closed exactly once" true (s.Obs.total_s >= 0.)
+
+(* --- Domain_scope after an exception --- *)
+
+let test_scope_merge_after_exception () =
+  with_obs @@ fun () ->
+  Obs.Span.with_ "host" (fun () ->
+      let sc = Obs.Domain_scope.create () in
+      let d =
+        Domain.spawn (fun () ->
+            match
+              Obs.Domain_scope.run sc (fun () ->
+                  Obs.Span.with_ "done" (fun () -> ());
+                  let _leaked = Obs.Span.enter "leaked" in
+                  failwith "task blew up")
+            with
+            | () -> false
+            | exception Failure _ -> true)
+      in
+      let propagated = Domain.join d in
+      Alcotest.(check bool) "exception escaped run" true propagated;
+      Obs.Domain_scope.merge sc);
+  (* both the completed and the leaked-open span were closed by the scope
+     drain and spliced under the host *)
+  let stats = Obs.span_stats () in
+  ignore (find_stat stats "host");
+  ignore (find_stat stats "host/done");
+  let leaked = find_stat stats "host/leaked" in
+  Alcotest.(check bool) "leaked span got closed (dur >= 0)" true
+    (leaked.Obs.total_s >= 0.);
+  (* merged-after-exception spans still feed their histograms *)
+  Alcotest.(check bool) "histogram fed for drained span" true
+    (List.mem_assoc "host/leaked" (Obs.span_histograms ()))
+
+(* --- sampled peak heap --- *)
+
+let test_sampled_peak_heap () =
+  with_obs @@ fun () ->
+  (* the close-count modulus is process-global, so 64 closes guarantee at
+     least one sample tick regardless of phase *)
+  for _ = 1 to 64 do
+    Obs.Span.with_ "tick" (fun () -> ignore (Sys.opaque_identity (Array.make 64 0)))
+  done;
+  (match List.assoc_opt "obs.peak_heap_samples" (Obs.gauges ()) with
+  | Some v -> Alcotest.(check bool) "sample tick recorded" true (v > 0.)
+  | None -> Alcotest.fail "obs.peak_heap_samples gauge missing");
+  match List.assoc_opt "gc.peak_major_heap_words" (Obs.gauges ()) with
+  | Some v -> Alcotest.(check bool) "peak heap positive" true (v > 0.)
+  | None -> Alcotest.fail "gc.peak_major_heap_words gauge missing"
 
 let suite =
   [
@@ -393,4 +819,18 @@ let suite =
     Alcotest.test_case "v2 alloc fields absent when disabled" `Quick
       test_v2_fields_absent_when_disabled;
     Alcotest.test_case "reset invalidates handles" `Quick test_reset_invalidates_handles;
+    Alcotest.test_case "Hdr log-linear histogram" `Quick test_hdr_histogram;
+    Alcotest.test_case "registered histograms" `Quick test_registered_histogram;
+    Alcotest.test_case "span duration quantiles" `Quick test_span_quantiles;
+    Alcotest.test_case "scope spans feed path histograms" `Quick
+      test_scope_spans_feed_histograms;
+    Alcotest.test_case "OpenMetrics round-trip" `Quick test_openmetrics_roundtrip;
+    Alcotest.test_case "flight recorder ring" `Quick test_flight_recorder_ring;
+    Alcotest.test_case "flight recorder dumps on fatal signal" `Quick
+      test_flight_recorder_abort;
+    Alcotest.test_case "cross-domain exit dropped + counted" `Quick
+      test_cross_domain_exit_dropped;
+    Alcotest.test_case "scope merge after exception" `Quick
+      test_scope_merge_after_exception;
+    Alcotest.test_case "sampled peak heap" `Quick test_sampled_peak_heap;
   ]

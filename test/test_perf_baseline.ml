@@ -47,16 +47,17 @@ let entry ?tol name median mad samples alloc =
     tol;
   }
 
+(* Single-run baseline (no history); what --record used to write. *)
+let mk entries = { Perf_baseline.entries; history = [] }
+
 let test_roundtrip () =
   let t =
-    {
-      Perf_baseline.entries =
+    mk
         [
           entry "kernels/csr_support@gowalla" 5080822.112 1234.5 180 98765.;
           entry ~tol:0.6 "kernels/noisy_kernel@gowalla" 100. 40. 12 5000.;
           entry "odd \"name\" with\\escapes" 1.25 0. 5 0.;
-        ];
-    }
+        ]
   in
   let file = Filename.temp_file "baseline" ".json" in
   Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
@@ -133,26 +134,22 @@ let vd =
 
 let test_compare_verdicts () =
   let baseline =
-    {
-      Perf_baseline.entries =
+    mk
         [
           entry "steady" 100. 2. 50 1000.;
           entry "faster" 100. 2. 50 1000.;
           entry "noisy" 100. 50. 50 1000.;
           entry "gone" 100. 2. 50 1000.;
-        ];
-    }
+        ]
   in
   let fresh =
-    {
-      Perf_baseline.entries =
+    mk
         [
           entry "steady" 200. 2. 50 1000.;  (* +100% >> max(25%, 5*2) *)
           entry "faster" 50. 2. 50 1000.;   (* -50% *)
           entry "noisy" 130. 50. 50 1000.;  (* within 5*MAD = 250 band *)
           entry "new" 42. 1. 50 10.;
-        ];
-    }
+        ]
   in
   let deltas = Perf_baseline.compare ~rel_tol:0.25 ~mad_k:5.0 ~baseline ~fresh () in
   Alcotest.(check int) "one delta per union kernel" 5 (List.length deltas);
@@ -173,8 +170,8 @@ let test_compare_verdicts () =
 
 let test_compare_thresholds () =
   (* MAD term dominates when the kernel is noisy; rel term when it is not. *)
-  let base = { Perf_baseline.entries = [ entry "a" 1000. 100. 9 0. ] } in
-  let fresh v = { Perf_baseline.entries = [ entry "a" v 100. 9 0. ] } in
+  let base = mk [ entry "a" 1000. 100. 9 0. ] in
+  let fresh v = mk [ entry "a" v 100. 9 0. ] in
   let verdict v =
     verdict_of (Perf_baseline.compare ~rel_tol:0.1 ~mad_k:5.0 ~baseline:base ~fresh:(fresh v) ()) "a"
   in
@@ -186,13 +183,10 @@ let test_compare_thresholds () =
 let test_tol_override () =
   (* The entry's own tolerance widens its band without touching siblings. *)
   let baseline =
-    {
-      Perf_baseline.entries =
-        [ entry ~tol:1.0 "loose" 100. 0. 9 0.; entry "strict" 100. 0. 9 0. ];
-    }
+    mk [ entry ~tol:1.0 "loose" 100. 0. 9 0.; entry "strict" 100. 0. 9 0. ]
   in
   let fresh =
-    { Perf_baseline.entries = [ entry "loose" 190. 0. 9 0.; entry "strict" 190. 0. 9 0. ] }
+    mk [ entry "loose" 190. 0. 9 0.; entry "strict" 190. 0. 9 0. ]
   in
   let deltas = Perf_baseline.compare ~rel_tol:0.25 ~mad_k:5.0 ~baseline ~fresh () in
   Alcotest.check vd "loose kernel within its own tol" Perf_baseline.Unchanged
@@ -207,18 +201,12 @@ let test_alloc_gate () =
     | None -> Alcotest.failf "kernel %S missing from deltas" name
   in
   let baseline =
-    {
-      Perf_baseline.entries =
-        [ entry "big" 100. 0. 9 100000.; entry "tiny" 100. 0. 9 100. ];
-    }
+    mk [ entry "big" 100. 0. 9 100000.; entry "tiny" 100. 0. 9 100. ]
   in
   (* big: +100% alloc, way past 50% + floor; tiny: +2900w, under the 4096w
      absolute floor even though it is a 29x relative jump. *)
   let fresh =
-    {
-      Perf_baseline.entries =
-        [ entry "big" 100. 0. 9 200000.; entry "tiny" 100. 0. 9 3000. ];
-    }
+    mk [ entry "big" 100. 0. 9 200000.; entry "tiny" 100. 0. 9 3000. ]
   in
   let deltas = Perf_baseline.compare ~baseline ~fresh () in
   let big = delta_of deltas "big" and tiny = delta_of deltas "tiny" in
@@ -235,6 +223,119 @@ let test_alloc_gate () =
   Alcotest.(check int) "alloc_tol relaxes the gate" 0
     (List.length (Perf_baseline.regressions relaxed))
 
+(* --- v3 history --- *)
+
+let test_push_and_trim () =
+  let run i = [ entry "k" (float_of_int (100 * i)) 1. 9 10. ] in
+  let t0 = mk (run 1) in
+  let t1 = Perf_baseline.push t0 ~fresh:(mk (run 2)) in
+  Alcotest.(check int) "first push keeps one historical run" 1
+    (List.length t1.Perf_baseline.history);
+  check_feq "entries are the fresh run" 200.
+    (List.hd t1.Perf_baseline.entries).Perf_baseline.median_ns;
+  check_feq "history holds the previous run" 100.
+    (List.hd (List.hd t1.Perf_baseline.history)).Perf_baseline.median_ns;
+  (* push with a small limit: oldest runs fall off the front *)
+  let t =
+    List.fold_left
+      (fun acc i -> Perf_baseline.push ~limit:3 acc ~fresh:(mk (run i)))
+      t0
+      [ 2; 3; 4; 5; 6 ]
+  in
+  Alcotest.(check int) "history bounded by limit" 3
+    (List.length t.Perf_baseline.history);
+  check_feq "current run is the last push" 600.
+    (List.hd t.Perf_baseline.entries).Perf_baseline.median_ns;
+  Alcotest.(check (list (float 0.)))
+    "history keeps the newest runs, oldest first"
+    [ 300.; 400.; 500. ]
+    (List.map
+       (fun run -> (List.hd run).Perf_baseline.median_ns)
+       t.Perf_baseline.history)
+
+let test_trend () =
+  let run m a = [ entry "k" m 1. 9 a; entry "gone" 5. 0. 9 1. ] in
+  (* one outlier run (900ns) among 100/110/120: the trend is the median
+     of per-run medians, so it lands on 110/115, not on the outlier *)
+  let t =
+    {
+      Perf_baseline.entries = [ entry "k" 120. 1. 9 12. ];
+      history = [ run 100. 10.; run 900. 99.; run 110. 11. ];
+    }
+  in
+  let trend = Perf_baseline.trend t in
+  (match trend.Perf_baseline.entries with
+  | [ e ] ->
+    Alcotest.(check string) "kernels keyed by the latest run" "k"
+      e.Perf_baseline.name;
+    (* runs: 100, 900, 110, 120 -> even count, median implementation
+       dependent on interpolation; must sit between 110 and 120 *)
+    Alcotest.(check bool)
+      (Printf.sprintf "trend median robust to the outlier (got %g)"
+         e.Perf_baseline.median_ns)
+      true
+      (e.Perf_baseline.median_ns >= 110. && e.Perf_baseline.median_ns <= 120.);
+    Alcotest.(check bool)
+      (Printf.sprintf "trend alloc robust to the outlier (got %g)"
+         e.Perf_baseline.alloc_w)
+      true
+      (e.Perf_baseline.alloc_w >= 10. && e.Perf_baseline.alloc_w <= 12.)
+  | l -> Alcotest.failf "expected 1 trend kernel, got %d" (List.length l));
+  Alcotest.(check int) "trend flattens history away" 0
+    (List.length trend.Perf_baseline.history);
+  (* a history-less baseline trends to itself *)
+  let single = mk [ entry "k" 42. 1. 9 7. ] in
+  check_feq "single-run trend is the run" 42.
+    (List.hd (Perf_baseline.trend single).Perf_baseline.entries)
+      .Perf_baseline.median_ns
+
+let test_history_roundtrip () =
+  let t =
+    {
+      Perf_baseline.entries = [ entry "k" 300. 3. 9 30. ];
+      history =
+        [ [ entry "k" 100. 1. 9 10. ]; [ entry ~tol:0.5 "k" 200. 2. 9 20. ] ];
+    }
+  in
+  let file = Filename.temp_file "baseline" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Perf_baseline.write file t;
+  match Perf_baseline.read file with
+  | Error e -> Alcotest.failf "history roundtrip failed: %s" e
+  | Ok t' ->
+    Alcotest.(check int) "history length survives" 2
+      (List.length t'.Perf_baseline.history);
+    Alcotest.(check (list (float 1e-3)))
+      "history medians survive in order" [ 100.; 200. ]
+      (List.map
+         (fun run -> (List.hd run).Perf_baseline.median_ns)
+         t'.Perf_baseline.history);
+    (match List.nth t'.Perf_baseline.history 1 with
+    | [ e ] ->
+      Alcotest.(check bool) "per-entry tol survives inside history" true
+        (e.Perf_baseline.tol = Some 0.5)
+    | _ -> Alcotest.fail "history run shape");
+    (* v2 documents (no "history") read back with an empty history *)
+    let v2 =
+      "{\"schema\": \"maxtruss-perf-baseline\", \"version\": 2, \"entries\": [\n\
+      \  { \"name\": \"k\", \"median_ns\": 1, \"mad_ns\": 0, \"samples\": 1, \
+       \"alloc_w\": 0 } ] }"
+    in
+    (match Perf_baseline.of_json v2 with
+    | Ok t -> Alcotest.(check int) "v2 history empty" 0 (List.length t.Perf_baseline.history)
+    | Error e -> Alcotest.failf "v2 parse failed: %s" e);
+    (* malformed history shapes are rejected, not silently dropped *)
+    expect_error "non-array history"
+      (Perf_baseline.of_json
+         "{\"schema\": \"maxtruss-perf-baseline\", \"version\": 3, \"entries\": \
+          [], \"history\": 7}");
+    (* numeric fields default like top-level entries, but a nameless
+       entry inside a run is malformed *)
+    expect_error "malformed run inside history"
+      (Perf_baseline.of_json
+         "{\"schema\": \"maxtruss-perf-baseline\", \"version\": 3, \"entries\": \
+          [], \"history\": [ [ { \"median_ns\": 1 } ] ]}")
+
 let suite =
   [
     Alcotest.test_case "median + mad" `Quick test_median_mad;
@@ -246,4 +347,7 @@ let suite =
     Alcotest.test_case "compare thresholds" `Quick test_compare_thresholds;
     Alcotest.test_case "per-entry tol override" `Quick test_tol_override;
     Alcotest.test_case "alloc gate" `Quick test_alloc_gate;
+    Alcotest.test_case "push + history trim" `Quick test_push_and_trim;
+    Alcotest.test_case "trend across runs" `Quick test_trend;
+    Alcotest.test_case "v3 history roundtrip + compat" `Quick test_history_roundtrip;
   ]
