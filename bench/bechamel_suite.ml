@@ -237,6 +237,40 @@ let test_dinic_csr =
          Flow.Flow_network.reset net;
          ignore (Flow.Dinic.max_flow net ~s ~t)))
 
+(* Service replay kernel: a fixed mixed workload — five reads plus two small
+   mutation batches — against a store seeded from a prebuilt epoch.  The
+   base epoch is shared across runs (mutations publish fresh epochs built
+   from copies), so the timed region is request handling plus two
+   incremental maintenance passes, not the initial decomposition. *)
+let kernel_serve_epoch = lazy (Service.Epoch.create (Lazy.force small_graph))
+
+let test_serve_replay =
+  Test.make ~name:"kernels/serve_replay@small"
+    (Staged.stage (fun () ->
+         let store = Service.Store.create (Lazy.force kernel_serve_epoch) in
+         let epoch = Service.Store.current store in
+         let read req = ignore (Service.Request.handle_read ~epoch req) in
+         read Service.Request.Decompose;
+         read Service.Request.Stats;
+         read (Service.Request.Truss_query { k; limit = Some 50 });
+         read (Service.Request.Onion { k; limit = Some 20 });
+         read (Service.Request.Trussness [ (0, 1); (1, 2); (2, 3) ]);
+         let edges = Graphcore.Graph.edge_array (Lazy.force small_graph) in
+         let del i =
+           let u, v = Graphcore.Edge_key.endpoints edges.(i) in
+           Service.Mutation_log.Delete (u, v)
+         in
+         let o1 =
+           Service.Mutation_log.apply store
+             [ del 0; del 7; Service.Mutation_log.Insert (1000, 1001) ]
+         in
+         ignore
+           (Service.Request.handle_read ~epoch:o1.Service.Mutation_log.epoch
+              Service.Request.Decompose);
+         ignore
+           (Service.Mutation_log.apply store
+              [ del 13; Service.Mutation_log.Insert (1001, 1002) ])))
+
 (* Domain-parallel variants of the two heaviest CSR kernels under a 2-worker
    pool.  Kept last in the suite so the pool spin-up never perturbs the
    sequential measurements; {!benchmark} restores the previous domain count
@@ -298,6 +332,7 @@ let benchmark ?(quota_s = 1.0) () =
       test_flow_sweep_warm;
       test_flow_sweep_rebuild;
       test_dinic_csr;
+      test_serve_replay;
       test_csr_support_par2;
       test_csr_decompose_par2;
     ]

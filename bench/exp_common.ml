@@ -80,3 +80,13 @@ type mode = Quick | Full
 let mode = ref Quick
 
 let pick ~quick ~full = match !mode with Quick -> quick | Full -> full
+
+(* Named scalar results experiments want surfaced in `--json` output
+   (merged into the "kernels" array alongside the Bechamel estimates) —
+   e.g. the serve replay's sustained qps and tail latency. *)
+let scalar_results : (string * float) list ref = ref []
+
+let add_scalar name value =
+  scalar_results := List.filter (fun (n, _) -> n <> name) !scalar_results @ [ (name, value) ]
+
+let scalars () = !scalar_results

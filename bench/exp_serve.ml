@@ -1,0 +1,144 @@
+(* Service-layer replay: drive the request layer with a recorded mix of
+   read queries and mutation batches against a live epoch store, the same
+   way maxtruss-serve's dispatch loop does, and report sustained query
+   throughput plus tail latency.
+
+   Two properties are asserted, not just measured:
+   - every mutation batch must take the incremental maintenance path
+     (fallback count stays zero for these batch sizes);
+   - after each batch, the canonical read responses from the incrementally
+     maintained epoch must be byte-identical to those from an epoch rebuilt
+     from scratch on the same graph (the one-shot oracle). *)
+
+let dataset = "gowalla"
+
+let quantile_us hdr q = float_of_int (Hdr.quantile hdr q) /. 1e3
+
+(* Canonical read set used for the oracle comparison: enough surface to
+   catch a wrong trussness, a wrong index offset or a wrong onion layer. *)
+let oracle_requests ~kd ~sample_edges =
+  [
+    Service.Request.Decompose;
+    Service.Request.Stats;
+    Service.Request.Truss_query { k = kd; limit = Some 200 };
+    Service.Request.Truss_query { k = 3; limit = Some 50 };
+    Service.Request.Onion { k = kd; limit = Some 100 };
+    Service.Request.Trussness sample_edges;
+  ]
+
+let run () =
+  Exp_common.header "Service replay (epoch store, incremental maintenance)";
+  let g = Exp_common.dataset dataset in
+  let kd = Exp_common.default_k dataset in
+  let store = Service.Store.create (Service.Epoch.create g) in
+  let fallbacks0 = Service.Mutation_log.fallback_count () in
+  let rng = Graphcore.Rng.create 77 in
+  let nodes =
+    let acc = ref [] in
+    Graphcore.Graph.iter_nodes g (fun u -> acc := u :: !acc);
+    Array.of_list !acc
+  in
+  let rand_node () = nodes.(Graphcore.Rng.int rng (Array.length nodes)) in
+  let rounds = Exp_common.pick ~quick:12 ~full:50 in
+  let queries_per_round = 10 in
+  let read_hdr = Hdr.create () in
+  let mutate_hdr = Hdr.create () in
+  let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9)) in
+  let total_queries = ref 0 in
+  let total_read_ns = ref 0 in
+  let region_edges = ref 0 in
+  let verified = ref 0 in
+  let timed_read epoch req =
+    let t0 = now_ns () in
+    let resp = Service.Request.handle_read ~epoch req in
+    let dt = max 0 (now_ns () - t0) in
+    Hdr.observe read_hdr dt;
+    incr total_queries;
+    total_read_ns := !total_read_ns + dt;
+    resp
+  in
+  let round_queries epoch =
+    let kq () = 3 + Graphcore.Rng.int rng (max 1 (Service.Epoch.kmax epoch - 2)) in
+    let pairs n = List.init n (fun _ -> (rand_node (), rand_node ())) in
+    [
+      Service.Request.Decompose;
+      Service.Request.Stats;
+      Service.Request.Trussness (pairs 8);
+      Service.Request.Trussness (pairs 8);
+      Service.Request.Trussness (pairs 8);
+      Service.Request.Trussness (pairs 8);
+      Service.Request.Truss_query { k = kq (); limit = Some 20 };
+      Service.Request.Truss_query { k = kq (); limit = Some 20 };
+      Service.Request.Truss_query { k = kq (); limit = Some 20 };
+      Service.Request.Onion { k = kd; limit = Some 20 };
+    ]
+  in
+  let mutation_batch epoch =
+    (* 4 random inserts (may normalize away) + 3 deletes of live edges:
+       small against |E|, so the incremental path must hold. *)
+    let edges = Graphcore.Graph.edge_array (Service.Epoch.graph epoch) in
+    let del () =
+      let key = edges.(Graphcore.Rng.int rng (Array.length edges)) in
+      let u, v = Graphcore.Edge_key.endpoints key in
+      Service.Mutation_log.Delete (u, v)
+    in
+    let ins () = Service.Mutation_log.Insert (rand_node (), rand_node ()) in
+    [ ins (); ins (); ins (); ins (); del (); del (); del () ]
+  in
+  let verify epoch =
+    (* One-shot oracle: full rebuild on the same graph, same generation so
+       the response headers line up byte-for-byte. *)
+    let fresh =
+      Service.Epoch.create
+        ~generation:(Service.Epoch.generation epoch)
+        (Service.Epoch.graph epoch)
+    in
+    let sample_edges =
+      List.init 10 (fun _ -> (rand_node (), rand_node ()))
+    in
+    List.iter
+      (fun req ->
+        let a = Service.Request.handle_read ~epoch req in
+        let b = Service.Request.handle_read ~epoch:fresh req in
+        if a <> b then
+          failwith
+            (Printf.sprintf "serve replay: incremental epoch diverged from one-shot oracle on %s"
+               (Service.Request.op_name req));
+        incr verified)
+      (oracle_requests ~kd ~sample_edges)
+  in
+  for _round = 1 to rounds do
+    let epoch = Service.Store.current store in
+    List.iter (fun req -> ignore (timed_read epoch req)) (round_queries epoch);
+    let t0 = now_ns () in
+    let outcome =
+      Service.Mutation_log.apply store (mutation_batch epoch)
+    in
+    Hdr.observe mutate_hdr (max 0 (now_ns () - t0));
+    region_edges := !region_edges + outcome.Service.Mutation_log.region_edges;
+    if outcome.Service.Mutation_log.fallback then
+      failwith "serve replay: a small batch unexpectedly took the fallback path";
+    verify outcome.Service.Mutation_log.epoch
+  done;
+  let fallbacks = Service.Mutation_log.fallback_count () - fallbacks0 in
+  if fallbacks <> 0 then failwith "serve replay: maintain_fallbacks must stay 0";
+  let qps =
+    if !total_read_ns = 0 then 0.
+    else float_of_int !total_queries /. (float_of_int !total_read_ns /. 1e9)
+  in
+  let final = Service.Store.current store in
+  Exp_common.row "replayed %d read queries + %d mutation batches (%d queries/round)\n"
+    !total_queries rounds queries_per_round;
+  Exp_common.row "final epoch: generation %d, %d edges, kmax %d; %d region edges maintained\n"
+    (Service.Epoch.generation final) (Service.Epoch.num_edges final)
+    (Service.Epoch.kmax final) !region_edges;
+  Exp_common.row "read latency: p50 %.1fus  p90 %.1fus  p99 %.1fus  (sustained %.0f qps)\n"
+    (quantile_us read_hdr 0.50) (quantile_us read_hdr 0.90) (quantile_us read_hdr 0.99) qps;
+  Exp_common.row "mutation batches: p50 %.2fms  p99 %.2fms  (fallbacks: %d)\n"
+    (quantile_us mutate_hdr 0.50 /. 1e3)
+    (quantile_us mutate_hdr 0.99 /. 1e3)
+    fallbacks;
+  Exp_common.row "oracle: %d canonical responses byte-identical to full recompute\n" !verified;
+  Exp_common.add_scalar "serve/replay_qps" qps;
+  Exp_common.add_scalar "serve/replay_read_p99_us" (quantile_us read_hdr 0.99);
+  Exp_common.add_scalar "serve/replay_mutate_p99_us" (quantile_us mutate_hdr 0.99)

@@ -49,6 +49,7 @@ let experiments =
     ("corevs", "Motivation companion: truss vs core maximization", Exp_core_vs_truss.run);
     ("anchorvs", "Related-work companion: anchoring vs edge insertion", Exp_anchor.run);
     ("weighted", "Extension: weighted insertion budgets", Exp_weighted.run);
+    ("serve", "Service replay: sustained qps + tail latency of the request layer", Exp_serve.run);
   ]
 
 let json_escape s =
@@ -67,8 +68,10 @@ let json_escape s =
 (* Hand-rolled JSON writer: two arrays of {name, value} records (wall-clock
    seconds + GC pressure for whole experiments, Bechamel OLS ns/run medians
    for kernels), plus — when the observability layer is on — the metrics
-   object of Obs.metrics_json under the "obs" key. *)
-let write_json file ~experiments ~kernels =
+   object of Obs.metrics_json under the "obs" key.  Experiment scalars
+   (e.g. the serve replay's sustained qps) ride in the kernels array with a
+   "value" key instead of "ns_per_run". *)
+let write_json file ~experiments ~kernels ~scalars =
   let oc =
     try open_out file
     with Sys_error msg ->
@@ -76,9 +79,9 @@ let write_json file ~experiments ~kernels =
       exit 1
   in
   let record fmt = Printf.fprintf oc fmt in
-  let emit ~key entries =
+  let emit entries =
     List.iteri
-      (fun i (name, value) ->
+      (fun i (name, key, value) ->
         record "    { \"name\": \"%s\", \"%s\": %.3f }%s\n" (json_escape name) key value
           (if i = List.length entries - 1 then "" else ","))
       entries
@@ -96,7 +99,9 @@ let write_json file ~experiments ~kernels =
     experiments;
   record "  ],\n";
   record "  \"kernels\": [\n";
-  emit ~key:"ns_per_run" kernels;
+  emit
+    (List.map (fun (n, v) -> (n, "ns_per_run", v)) kernels
+    @ List.map (fun (n, v) -> (n, "value", v)) scalars);
   record "  ]";
   if Obs.enabled () then record ",\n  \"obs\": %s" (String.trim (Obs.metrics_json ()));
   record "\n}\n";
@@ -280,7 +285,7 @@ let () =
           (kr.Bechamel_suite.kr_name, kr.Bechamel_suite.kr_ns_est))
         kernel_runs
     in
-    write_json file ~experiments:timings ~kernels);
+    write_json file ~experiments:timings ~kernels ~scalars:(Exp_common.scalars ()));
   if Obs.enabled () then Obs.report stderr;
   (match !openmetrics_file with
   | None -> ()
@@ -292,50 +297,12 @@ let () =
       Printf.eprintf "cannot write %s: %s\n" file msg;
       exit 1));
   if !assert_openmetrics then begin
-    (* Minimal exposition-format validation: every line is a comment or a
-       `name[{labels}] value` sample with a numeric value, the export ends
-       with `# EOF`, and at least one histogram _bucket series exists. *)
-    let text = Obs.openmetrics () in
-    let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
-    let sample_ok line =
-      String.length line > 0
-      && (line.[0] = '#'
-         ||
-         match String.rindex_opt line ' ' with
-         | None -> false
-         | Some i ->
-           let value = String.sub line (i + 1) (String.length line - i - 1) in
-           let series = String.sub line 0 i in
-           series <> ""
-           && (value = "+Inf" || float_of_string_opt value <> None)
-           && (match String.index_opt series '{' with
-              | Some j -> series.[String.length series - 1] = '}' && j > 0
-              | None -> true))
-    in
-    let bad = List.filter (fun l -> not (sample_ok l)) lines in
-    let has_bucket =
-      List.exists
-        (fun l ->
-          match String.index_opt l '{' with
-          | Some j when j >= 7 -> String.sub l (j - 7) 7 = "_bucket"
-          | _ -> false)
-        lines
-    in
-    let ends_eof = match List.rev lines with "# EOF" :: _ -> true | _ -> false in
-    if bad <> [] then begin
-      Printf.eprintf "openmetrics assertion failed: malformed line %S\n" (List.hd bad);
+    match Obs.lint_openmetrics (Obs.openmetrics ()) with
+    | Ok lines ->
+      Printf.printf "openmetrics export ok: %d lines, _bucket series present\n" lines
+    | Error msg ->
+      Printf.eprintf "openmetrics assertion failed: %s\n" msg;
       exit 1
-    end;
-    if not ends_eof then begin
-      Printf.eprintf "openmetrics assertion failed: missing # EOF terminator\n";
-      exit 1
-    end;
-    if not has_bucket then begin
-      Printf.eprintf "openmetrics assertion failed: no _bucket series in export\n";
-      exit 1
-    end;
-    Printf.printf "openmetrics export ok: %d lines, _bucket series present\n"
-      (List.length lines)
   end;
   (match !assert_counter with
   | None -> ()

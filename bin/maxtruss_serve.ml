@@ -1,0 +1,116 @@
+(* maxtruss-serve — long-lived truss-maximization daemon.
+
+   Loads a graph, freezes it into an epoch, and answers line-delimited
+   JSON requests (see Service.Request) over stdin, a Unix-domain socket or
+   TCP.  Mutation batches are maintained incrementally through the truss
+   maintenance theorems and published RCU-style — in-flight readers keep
+   their epoch, new requests see the new one.
+
+     maxtruss-serve -d gowalla-sample --stdin < requests.jsonl
+     maxtruss-serve -i graph.edges --socket /tmp/maxtruss.sock
+     maxtruss-serve -d gowalla --tcp 7171 --domains 4 *)
+
+open Cmdliner
+open Cli_common
+
+let stdin_flag =
+  let doc = "Serve requests from stdin, one JSON object per line, until EOF (the default mode)." in
+  Arg.(value & flag & info [ "stdin" ] ~doc)
+
+let socket_arg =
+  let doc = "Listen on a Unix-domain socket at $(docv) (removed on exit)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Listen on TCP port $(docv)." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Bind address for --tcp (default: loopback)." in
+  Arg.(value & opt string "" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let fallback_arg =
+  let doc =
+    "Mutation batches whose net edge changes exceed this fraction of the current edge \
+     count abandon incremental maintenance and rebuild the decomposition from scratch \
+     (counted by the service.maintain_fallbacks metric)."
+  in
+  Arg.(value & opt float Service.Mutation_log.default_config.Service.Mutation_log.fallback_fraction
+       & info [ "fallback-fraction" ] ~docv:"F" ~doc)
+
+let max_batch_arg =
+  let doc = "Most pipelined read requests evaluated against one epoch pin." in
+  Arg.(value & opt int Service.Server.default_config.Service.Server.max_batch
+       & info [ "max-batch" ] ~docv:"N" ~doc)
+
+let assert_openmetrics_flag =
+  let doc =
+    "After serving, validate the OpenMetrics exposition's shape (implies collection on); \
+     exit non-zero if malformed."
+  in
+  Arg.(value & flag & info [ "assert-openmetrics" ] ~doc)
+
+let serve_cmd =
+  let run input dataset domains stdin_mode socket tcp host fallback_fraction max_batch stats
+      metrics trace openmetrics assert_om flight_record flight_dump =
+    match load_graph input dataset with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      1
+    | Ok g ->
+      apply_domains domains;
+      enable_obs_if_requested ~stats ~metrics ~trace ~openmetrics;
+      if assert_om then Obs.set_enabled true;
+      setup_flight_recorder ~capacity:flight_record ~dump:flight_dump;
+      if fallback_fraction < 0. then begin
+        Printf.eprintf "--fallback-fraction must be non-negative\n";
+        1
+      end
+      else begin
+        let epoch = Service.Epoch.create g in
+        let store = Service.Store.create epoch in
+        let config = { Service.Server.fallback_fraction; max_batch = max max_batch 1 } in
+        (* Protocol traffic owns stdout; everything human goes to stderr. *)
+        Printf.eprintf "[serve] epoch 0: %d nodes, %d edges, kmax %d\n%!"
+          (Service.Epoch.num_nodes epoch) (Service.Epoch.num_edges epoch)
+          (Service.Epoch.kmax epoch);
+        (match (socket, tcp) with
+        | Some path, None ->
+          Printf.eprintf "[serve] listening on unix socket %s\n%!" path;
+          Service.Server.listen_unix ~config ~path store
+        | None, Some port ->
+          Printf.eprintf "[serve] listening on tcp port %d\n%!" port;
+          Service.Server.listen_tcp ~config ~host ~port store
+        | Some _, Some _ ->
+          Printf.eprintf "pass either --socket or --tcp, not both\n";
+          exit 1
+        | None, None ->
+          ignore stdin_mode;
+          ignore (Service.Server.serve_stdin ~config store));
+        let final = Service.Store.current store in
+        Printf.eprintf "[serve] done at generation %d: %d edges, kmax %d, %d fallbacks\n%!"
+          (Service.Epoch.generation final) (Service.Epoch.num_edges final)
+          (Service.Epoch.kmax final)
+          (Service.Mutation_log.fallback_count ());
+        let ok = ref (export_obs ~stats ~metrics ~trace ~openmetrics) in
+        if assert_om then begin
+          match Obs.lint_openmetrics (Obs.openmetrics ()) with
+          | Ok lines -> Printf.eprintf "[serve] openmetrics export ok: %d lines\n%!" lines
+          | Error e ->
+            Printf.eprintf "[serve] openmetrics assertion failed: %s\n%!" e;
+            ok := false
+        end;
+        if !ok then 0 else 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "maxtruss-serve" ~version:"1.0.0"
+       ~doc:
+         "Serve truss decomposition, queries, maximization and incremental edge \
+          mutations over line-delimited JSON")
+    Term.(
+      const run $ input $ dataset_opt $ domains_arg $ stdin_flag $ socket_arg $ tcp_arg
+      $ host_arg $ fallback_arg $ max_batch_arg $ stats_flag $ metrics_out $ trace_out
+      $ openmetrics_out $ assert_openmetrics_flag $ flight_record_arg $ flight_dump_arg)
+
+let () = exit (Cmd.eval' serve_cmd)

@@ -30,6 +30,14 @@ let gowalla () =
   social ~seed:105 ~n:12000 ~m:5 ~p:0.45 ~communities:120 ~size_min:10 ~size_max:18 ~drop:0.35
     ()
 
+(* Same generator family as gowalla at 1/10 scale: big enough to have a
+   non-trivial truss hierarchy, small enough that the serve-smoke CI job
+   (daemon + canned request script vs committed goldens) runs in under a
+   second. *)
+let gowalla_sample () =
+  social ~seed:105 ~n:1200 ~m:5 ~p:0.45 ~communities:12 ~size_min:10 ~size_max:18 ~drop:0.35
+    ()
+
 let twitter () =
   social ~seed:106 ~n:8000 ~m:10 ~p:0.6 ~communities:60 ~size_min:12 ~size_max:22 ~drop:0.3 ()
 
@@ -83,6 +91,13 @@ let all =
       default_k = 8;
       scale = `Small;
       build = gowalla;
+    };
+    {
+      name = "gowalla-sample";
+      description = "1/10-scale gowalla stand-in for smoke tests and request goldens";
+      default_k = 6;
+      scale = `Small;
+      build = gowalla_sample;
     };
     {
       name = "twitter";

@@ -1121,6 +1121,47 @@ module Openmetrics = struct
     if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
     else json_float v
 
+  (* Registered names of the form [base{k=v,...}] become one labelled
+     series of the family [base]: ["request_duration_ns{op=mutate}"]
+     renders as [maxtruss_request_duration_ns{op="mutate"}].  Values may
+     be bare or double-quoted; a name whose brace section doesn't parse is
+     treated as unlabelled (and the braces sanitized away). *)
+  let split_labels name =
+    let n = String.length name in
+    match String.index_opt name '{' with
+    | Some i when i > 0 && n > i + 1 && name.[n - 1] = '}' ->
+      let base = String.sub name 0 i in
+      let parts = String.split_on_char ',' (String.sub name (i + 1) (n - i - 2)) in
+      let render part =
+        match String.index_opt part '=' with
+        | Some j when j > 0 ->
+          let k = String.trim (String.sub part 0 j) in
+          let v = String.trim (String.sub part (j + 1) (String.length part - j - 1)) in
+          let v =
+            let lv = String.length v in
+            if lv >= 2 && v.[0] = '"' && v.[lv - 1] = '"' then String.sub v 1 (lv - 2) else v
+          in
+          if k = "" then None else Some (sanitize k ^ "=\"" ^ label_escape v ^ "\"")
+        | _ -> None
+      in
+      let rendered = List.filter_map render parts in
+      if List.length rendered = List.length parts && rendered <> [] then
+        (base, String.concat "," rendered)
+      else (name, "")
+    | _ -> (name, "")
+
+  (* Regroup one section's entries by (family, labels) so every family
+     gets exactly one # TYPE line even when labelled and unlabelled
+     variants interleave in raw-name order. *)
+  let grouped entries =
+    List.map
+      (fun (name, v) ->
+        let base, labels = split_labels name in
+        (family base, labels, v))
+      entries
+    |> List.stable_sort (fun (f1, l1, _) (f2, l2, _) ->
+           match String.compare f1 f2 with 0 -> String.compare l1 l2 | c -> c)
+
   (* One histogram's series under [fam], with [labels] prepended to each
      sample's label set (already rendered, e.g. {|path="a/b"|}). *)
   let add_hist_series buf ~fam ~labels h =
@@ -1140,24 +1181,32 @@ module Openmetrics = struct
   let render () =
     let buf = Buffer.create 4096 in
     let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let last_fam = ref "" in
+    let type_line fam kind =
+      if fam <> !last_fam then begin
+        add "# TYPE %s %s\n" fam kind;
+        last_fam := fam
+      end
+    in
     List.iter
-      (fun (name, v) ->
-        let fam = family name in
-        add "# TYPE %s counter\n" fam;
-        add "%s_total %d\n" fam v)
-      (counters ());
+      (fun (fam, labels, v) ->
+        type_line fam "counter";
+        let plain = if labels = "" then "" else "{" ^ labels ^ "}" in
+        add "%s_total%s %d\n" fam plain v)
+      (grouped (counters ()));
+    last_fam := "";
     List.iter
-      (fun (name, v) ->
-        let fam = family name in
-        add "# TYPE %s gauge\n" fam;
-        add "%s %s\n" fam (fmt_gauge v))
-      (gauges ());
+      (fun (fam, labels, v) ->
+        type_line fam "gauge";
+        let plain = if labels = "" then "" else "{" ^ labels ^ "}" in
+        add "%s%s %s\n" fam plain (fmt_gauge v))
+      (grouped (gauges ()));
+    last_fam := "";
     List.iter
-      (fun (name, h) ->
-        let fam = family name in
-        add "# TYPE %s histogram\n" fam;
-        add_hist_series buf ~fam ~labels:"" h)
-      (histograms ());
+      (fun (fam, labels, h) ->
+        type_line fam "histogram";
+        add_hist_series buf ~fam ~labels h)
+      (grouped (histograms ()));
     let spans_h = span_histograms () in
     if spans_h <> [] then begin
       let fam = "maxtruss_span_duration_ns" in
@@ -1175,3 +1224,55 @@ end
 let openmetrics () = Openmetrics.render ()
 
 let write_openmetrics path = write_file path (openmetrics ())
+
+(* Shared by `bench --assert-openmetrics` and `maxtruss-serve
+   --assert-openmetrics`: validate the exposition's shape without parsing
+   it fully. *)
+let lint_openmetrics ?(require_bucket = true) text =
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let sample_ok line =
+    String.length line > 0
+    && (line.[0] = '#'
+       ||
+       match String.rindex_opt line ' ' with
+       | None -> false
+       | Some i ->
+         let value = String.sub line (i + 1) (String.length line - i - 1) in
+         let series = String.sub line 0 i in
+         series <> ""
+         && (value = "+Inf" || float_of_string_opt value <> None)
+         && (match String.index_opt series '{' with
+            | Some j -> series.[String.length series - 1] = '}' && j > 0
+            | None -> true))
+  in
+  let type_families =
+    List.filter_map
+      (fun l ->
+        if String.length l > 7 && String.sub l 0 7 = "# TYPE " then
+          match String.split_on_char ' ' l with _ :: _ :: fam :: _ -> Some fam | _ -> None
+        else None)
+      lines
+  in
+  let rec dup = function
+    | [] -> None
+    | f :: rest -> if List.mem f rest then Some f else dup rest
+  in
+  let has_bucket =
+    List.exists
+      (fun l ->
+        match String.index_opt l '{' with
+        | Some j when j >= 7 -> String.sub l (j - 7) 7 = "_bucket"
+        | _ -> false)
+      lines
+  in
+  let ends_eof = match List.rev lines with "# EOF" :: _ -> true | _ -> false in
+  match List.find_opt (fun l -> not (sample_ok l)) lines with
+  | Some bad -> Error (Printf.sprintf "malformed line %S" bad)
+  | None -> (
+    if not ends_eof then Error "missing # EOF terminator"
+    else
+      match dup type_families with
+      | Some fam -> Error (Printf.sprintf "family %s has more than one # TYPE line" fam)
+      | None ->
+        if require_bucket && not has_bucket then Error "no _bucket series in export"
+        else Ok (List.length lines))

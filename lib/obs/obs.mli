@@ -282,6 +282,24 @@ val openmetrics : unit -> string
     as the single family [maxtruss_span_duration_ns] labelled by [path] —
     each with cumulative [_bucket{le=...}] plus [_sum]/[_count] series.
     Metric names are sanitized to [[a-zA-Z0-9_:]]; output is name-sorted
-    and ends with [# EOF]. *)
+    and ends with [# EOF].
+
+    A registered name of the form [base{key=value,...}] is rendered as a
+    labelled series of the family [maxtruss_<base>] — e.g. counters or
+    histograms registered per operation as
+    ["request_duration_ns{op=mutate}"] all join the single
+    [maxtruss_request_duration_ns] family, distinguished by
+    [{op="mutate"}].  Entries are regrouped so each family gets exactly
+    one [# TYPE] line; names whose brace section does not parse as
+    [key=value] pairs are treated as unlabelled. *)
 
 val write_openmetrics : string -> unit
+
+val lint_openmetrics : ?require_bucket:bool -> string -> (int, string) result
+(** Shape-check an exposition (every non-comment line is a
+    [series value] sample, families have a single [# TYPE] line, the text
+    ends with [# EOF], and — unless [require_bucket] is [false] — at least
+    one histogram [_bucket] series is present).  Returns the number of
+    non-empty lines, or a one-line description of the first problem.
+    Backs the [--assert-openmetrics] flags of [bench] and
+    [maxtruss-serve]. *)

@@ -122,48 +122,76 @@ let of_json s =
     | _ -> (
       match Json_min.(member "entries" j |> Option.map to_arr) with
       | Some (Some items) -> (
-        let parse_entry it =
+        (* Every malformed entry reports one line of context: which run
+           ([ctx]), which kernel (name, or position when the name itself
+           is missing) and which field.  Fields absent entirely still
+           default (v1/v2 compatibility); fields present with the wrong
+           type are an error, not a silent zero. *)
+        let parse_entry ~ctx i it =
           match Json_min.(member "name" it |> Option.map to_str) with
-          | Some (Some name) ->
-            Some
-              {
-                name;
-                median_ns = Json_min.(num_or 0. (member "median_ns" it));
-                mad_ns = Json_min.(num_or 0. (member "mad_ns" it));
-                samples = int_of_float Json_min.(num_or 1. (member "samples" it));
-                alloc_w = Json_min.(num_or 0. (member "alloc_w" it));
-                tol =
-                  (match Json_min.member "tol" it with
-                  | Some v -> Json_min.to_num v
-                  | None -> None);
-              }
-          | _ -> None
+          | None | Some None ->
+            Error (Printf.sprintf "%sentry %d: missing or non-string \"name\" field" ctx (i + 1))
+          | Some (Some name) -> (
+            let num ~default field =
+              match Json_min.member field it with
+              | None -> Ok default
+              | Some v -> (
+                match Json_min.to_num v with
+                | Some n -> Ok n
+                | None ->
+                  Error
+                    (Printf.sprintf "%skernel %S: field %S is not a number" ctx name field))
+            in
+            let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+            let* median_ns = num ~default:0. "median_ns" in
+            let* mad_ns = num ~default:0. "mad_ns" in
+            let* samples = num ~default:1. "samples" in
+            let* alloc_w = num ~default:0. "alloc_w" in
+            match Json_min.member "tol" it with
+            | Some v when Json_min.to_num v = None ->
+              Error (Printf.sprintf "%skernel %S: field \"tol\" is not a number" ctx name)
+            | tol ->
+              Ok
+                {
+                  name;
+                  median_ns;
+                  mad_ns;
+                  samples = int_of_float samples;
+                  alloc_w;
+                  tol = Option.bind tol Json_min.to_num;
+                })
         in
-        let parse_run items =
-          let es = List.map parse_entry items in
-          if List.exists (( = ) None) es then None
-          else Some (List.filter_map Fun.id es)
+        let parse_run ~ctx items =
+          let rec go i acc = function
+            | [] -> Ok (List.rev acc)
+            | it :: rest -> (
+              match parse_entry ~ctx i it with
+              | Ok e -> go (i + 1) (e :: acc) rest
+              | Error _ as e -> e)
+          in
+          go 0 [] items
         in
-        match parse_run items with
-        | None -> Error "baseline entry without a \"name\" field"
-        | Some entries -> (
+        match parse_run ~ctx:"" items with
+        | Error _ as e -> e
+        | Ok entries -> (
           match Json_min.member "history" j with
           | None -> Ok { entries; history = [] }
           | Some hj -> (
             match Json_min.to_arr hj with
             | None -> Error "baseline \"history\" is not an array"
             | Some runs ->
-              let parsed =
-                List.map
-                  (fun run ->
-                    match Json_min.to_arr run with
-                    | None -> None
-                    | Some items -> parse_run items)
-                  runs
+              let rec go i acc = function
+                | [] -> Ok { entries; history = List.rev acc }
+                | run :: rest -> (
+                  let ctx = Printf.sprintf "history run %d: " (i + 1) in
+                  match Json_min.to_arr run with
+                  | None -> Error (Printf.sprintf "history run %d: not an array" (i + 1))
+                  | Some items -> (
+                    match parse_run ~ctx items with
+                    | Ok es -> go (i + 1) (es :: acc) rest
+                    | Error _ as e -> e))
               in
-              if List.exists (( = ) None) parsed then
-                Error "malformed \"history\" run in baseline"
-              else Ok { entries; history = List.filter_map Fun.id parsed })))
+              go 0 [] runs)))
       | _ -> Error "baseline without an \"entries\" array"))
 
 let write path t =

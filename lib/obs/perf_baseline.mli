@@ -61,7 +61,12 @@ val to_json : t -> string
 val of_json : string -> (t, string) result
 (** Rejects a wrong [schema] and any [version] outside [1..schema_version]
     (mismatch is an [Error], never a silent best-effort parse).  Version-1
-    files parse with [tol = None] on every entry. *)
+    files parse with [tol = None] on every entry.
+
+    A malformed entry is a one-line [Error] naming the offending kernel
+    and field — e.g. [history run 2: kernel "decompose": field "mad_ns" is
+    not a number] — rather than a silent default; fields that are absent
+    entirely still default for v1/v2 compatibility. *)
 
 val write : string -> t -> unit
 (** May raise [Sys_error]; drivers catch it and exit 1. *)

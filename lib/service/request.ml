@@ -1,0 +1,233 @@
+open Graphcore
+
+type algo = Pcfr | Pcf | Pcr
+
+type t =
+  | Decompose
+  | Trussness of (int * int) list
+  | Truss_query of { k : int; limit : int option }
+  | Onion of { k : int; limit : int option }
+  | Maximize of { k : int; budget : int; algo : algo; seed : int; g_probes : int option }
+  | Mutate of Mutation_log.op list
+  | Stats
+  | Shutdown
+
+let op_name = function
+  | Decompose -> "decompose"
+  | Trussness _ -> "trussness"
+  | Truss_query _ -> "truss-query"
+  | Onion _ -> "onion"
+  | Maximize _ -> "maximize"
+  | Mutate _ -> "mutate"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let is_read = function
+  | Decompose | Trussness _ | Truss_query _ | Onion _ | Maximize _ | Stats -> true
+  | Mutate _ | Shutdown -> false
+
+(* {2 Parsing} *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field_int ?default json name =
+  match Json_min.member name json with
+  | None -> ( match default with Some d -> Ok d | None -> Error (Printf.sprintf "missing field %S" name))
+  | Some v -> (
+    match Json_min.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let field_int_opt json name =
+  match Json_min.member name json with
+  | None -> Ok None
+  | Some v -> (
+    match Json_min.to_int v with
+    | Some i -> Ok (Some i)
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+
+let parse_pair name v =
+  match Json_min.to_arr v with
+  | Some [ a; b ] -> (
+    match (Json_min.to_int a, Json_min.to_int b) with
+    | Some u, Some v -> Ok (u, v)
+    | _ -> Error (Printf.sprintf "%s entries must be pairs of integers" name))
+  | _ -> Error (Printf.sprintf "%s entries must be pairs of integers" name)
+
+let parse_edges json =
+  match Json_min.member "edges" json with
+  | None -> Error "missing field \"edges\""
+  | Some v -> (
+    match Json_min.to_arr v with
+    | None -> Error "field \"edges\" must be an array"
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+          let* p = parse_pair "\"edges\"" item in
+          go (p :: acc) rest
+      in
+      go [] items)
+
+let parse_mutation_ops json =
+  match Json_min.member "ops" json with
+  | None -> Error "missing field \"ops\""
+  | Some v -> (
+    match Json_min.to_arr v with
+    | None -> Error "field \"ops\" must be an array"
+    | Some items ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+          match Json_min.to_arr item with
+          | Some [ tag; a; b ] -> (
+            match (Json_min.to_str tag, Json_min.to_int a, Json_min.to_int b) with
+            | Some "insert", Some u, Some v -> go (Mutation_log.Insert (u, v) :: acc) rest
+            | Some "delete", Some u, Some v -> go (Mutation_log.Delete (u, v) :: acc) rest
+            | _ -> Error "\"ops\" entries must be [\"insert\"|\"delete\", u, v]")
+          | _ -> Error "\"ops\" entries must be [\"insert\"|\"delete\", u, v]")
+      in
+      go [] items)
+
+let parse line =
+  match Json_min.parse line with
+  | Error e -> Error ("invalid json: " ^ e)
+  | Ok json -> (
+    match Option.bind (Json_min.member "op" json) Json_min.to_str with
+    | None -> Error "missing field \"op\""
+    | Some "decompose" -> Ok Decompose
+    | Some "trussness" ->
+      let* edges = parse_edges json in
+      Ok (Trussness edges)
+    | Some "truss-query" ->
+      let* k = field_int json "k" in
+      let* limit = field_int_opt json "limit" in
+      Ok (Truss_query { k; limit })
+    | Some "onion" ->
+      let* k = field_int json "k" in
+      let* limit = field_int_opt json "limit" in
+      Ok (Onion { k; limit })
+    | Some "maximize" ->
+      let* k = field_int json "k" in
+      let* budget = field_int json "budget" in
+      let* seed = field_int ~default:42 json "seed" in
+      let* g_probes = field_int_opt json "g_probes" in
+      let* algo =
+        match Json_min.member "algo" json with
+        | None -> Ok Pcfr
+        | Some v -> (
+          match Json_min.to_str v with
+          | Some "pcfr" -> Ok Pcfr
+          | Some "pcf" -> Ok Pcf
+          | Some "pcr" -> Ok Pcr
+          | _ -> Error "field \"algo\" must be \"pcfr\", \"pcf\" or \"pcr\"")
+      in
+      Ok (Maximize { k; budget; algo; seed; g_probes })
+    | Some "mutate" ->
+      let* ops = parse_mutation_ops json in
+      Ok (Mutate ops)
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some other -> Error (Printf.sprintf "unknown op %S" other))
+
+(* {2 Responses} *)
+
+let error_response msg = Printf.sprintf "{\"error\":\"%s\"}" (Json_min.escape msg)
+
+let shutdown_response = "{\"op\":\"shutdown\",\"ok\":true}"
+
+let buf_pairs b pairs =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (u, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%d,%d]" u v))
+    pairs;
+  Buffer.add_char b ']'
+
+let truncate limit l =
+  match limit with
+  | None -> l
+  | Some n ->
+    let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
+    take (max 0 n) l
+
+let handle_read ~epoch req =
+  let b = Buffer.create 256 in
+  let gen = Epoch.generation epoch in
+  let header op = Buffer.add_string b (Printf.sprintf "{\"op\":\"%s\",\"generation\":%d" op gen) in
+  (match req with
+  | Decompose ->
+    header "decompose";
+    Buffer.add_string b (Printf.sprintf ",\"edges\":%d,\"kmax\":%d,\"classes\":[" (Epoch.num_edges epoch) (Epoch.kmax epoch));
+    List.iteri
+      (fun i (k, c) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "[%d,%d]" k c))
+      (Truss.Decompose.class_sizes (Epoch.decompose epoch));
+    Buffer.add_string b "]}"
+  | Trussness edges ->
+    header "trussness";
+    Buffer.add_string b ",\"results\":[";
+    List.iteri
+      (fun i (u, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        let tau =
+          if u <> v && u >= 0 && v >= 0 && u < Edge_key.max_node && v < Edge_key.max_node then
+            Option.value ~default:0 (Truss.Index.trussness (Epoch.index epoch) (Edge_key.make u v))
+          else 0
+        in
+        Buffer.add_string b (Printf.sprintf "[%d,%d,%d]" u v tau))
+      edges;
+    Buffer.add_string b "]}"
+  | Truss_query { k; limit } ->
+    header "truss-query";
+    let edges = Truss.Index.truss_edges (Epoch.index epoch) k |> List.sort Edge_key.compare in
+    Buffer.add_string b (Printf.sprintf ",\"k\":%d,\"size\":%d,\"edges\":" k (List.length edges));
+    buf_pairs b (truncate limit edges |> List.map Edge_key.endpoints);
+    Buffer.add_char b '}'
+  | Onion { k; limit } ->
+    header "onion";
+    let layers, max_layer = Epoch.onion_layers epoch ~k in
+    Buffer.add_string b
+      (Printf.sprintf ",\"k\":%d,\"candidates\":%d,\"max_layer\":%d,\"layers\":[" k (List.length layers) max_layer);
+    List.iteri
+      (fun i (key, layer) ->
+        if i > 0 then Buffer.add_char b ',';
+        let u, v = Edge_key.endpoints key in
+        Buffer.add_string b (Printf.sprintf "[%d,%d,%d]" u v layer))
+      (truncate limit layers);
+    Buffer.add_string b "]}"
+  | Maximize { k; budget; algo; seed; g_probes } ->
+    header "maximize";
+    (* The maximization internals mutate-and-restore their input graph, so
+       they must never see the shared epoch graph directly. *)
+    let g = Graph.copy (Epoch.graph epoch) in
+    let run = match algo with Pcfr -> Maxtruss.Pcfr.pcfr | Pcf -> Maxtruss.Pcfr.pcf | Pcr -> Maxtruss.Pcfr.pcr in
+    let res = run ~seed ?g_probes ~g ~k ~budget () in
+    let inserted =
+      List.sort
+        (fun (a, b) (c, d) -> Edge_key.compare (Edge_key.make a b) (Edge_key.make c d))
+        res.Maxtruss.Pcfr.outcome.Maxtruss.Outcome.inserted
+    in
+    Buffer.add_string b
+      (Printf.sprintf ",\"k\":%d,\"budget\":%d,\"score\":%d,\"inserted\":" k budget
+         res.Maxtruss.Pcfr.outcome.Maxtruss.Outcome.score);
+    buf_pairs b inserted;
+    Buffer.add_char b '}'
+  | Stats ->
+    header "stats";
+    Buffer.add_string b
+      (Printf.sprintf ",\"nodes\":%d,\"edges\":%d,\"kmax\":%d,\"maintain_fallbacks\":%d}"
+         (Epoch.num_nodes epoch) (Epoch.num_edges epoch) (Epoch.kmax epoch)
+         (Mutation_log.fallback_count ()))
+  | Mutate _ | Shutdown -> invalid_arg "Request.handle_read: not a read request");
+  Buffer.contents b
+
+let handle_mutate ~store ~config ops =
+  let o = Mutation_log.apply ~config store ops in
+  Printf.sprintf
+    "{\"op\":\"mutate\",\"generation\":%d,\"inserted\":%d,\"deleted\":%d,\"ignored\":%d,\"fallback\":%b,\"levels\":%d,\"region_edges\":%d}"
+    (Epoch.generation o.Mutation_log.epoch)
+    o.Mutation_log.inserted o.Mutation_log.deleted o.Mutation_log.ignored o.Mutation_log.fallback
+    o.Mutation_log.levels o.Mutation_log.region_edges

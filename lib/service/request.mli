@@ -1,0 +1,50 @@
+(** The service's wire protocol: one JSON object per line in, one JSON
+    object per line out.
+
+    Requests: [{"op":"decompose"}], [{"op":"trussness","edges":[[u,v],...]}],
+    [{"op":"truss-query","k":K,"limit":N?}], [{"op":"onion","k":K,"limit":N?}],
+    [{"op":"maximize","k":K,"budget":B,"algo":"pcfr"?,"seed":S?,"g_probes":P?}],
+    [{"op":"mutate","ops":[["insert",u,v],["delete",u,v],...]}],
+    [{"op":"stats"}], [{"op":"shutdown"}].
+
+    Responses are deterministic functions of the epoch they ran against —
+    no wall-clock times, edge lists sorted — so a replayed request script
+    yields byte-identical transcripts (the serve-smoke golden test relies
+    on this). *)
+
+type algo = Pcfr | Pcf | Pcr
+
+type t =
+  | Decompose
+  | Trussness of (int * int) list
+  | Truss_query of { k : int; limit : int option }
+  | Onion of { k : int; limit : int option }
+  | Maximize of { k : int; budget : int; algo : algo; seed : int; g_probes : int option }
+  | Mutate of Mutation_log.op list
+  | Stats
+  | Shutdown
+
+val op_name : t -> string
+
+val is_read : t -> bool
+(** True for every op that only reads an epoch ([Maximize] included — it
+    copies the graph before mutating).  [Mutate] and [Shutdown] are
+    barriers for the server's read batching. *)
+
+val parse : string -> (t, string) result
+
+val error_response : string -> string
+(** [{"error":"..."}]. *)
+
+val shutdown_response : string
+
+val handle_read : epoch:Epoch.t -> t -> string
+(** Evaluate a read request against one pinned epoch and render the
+    response line.  Pure with respect to the epoch (the maximize op runs
+    on a private graph copy); callable from any domain, so the server
+    fans batches out on the {!Par} pool.  Raises [Invalid_argument] on
+    [Mutate]/[Shutdown]. *)
+
+val handle_mutate : store:Store.t -> config:Mutation_log.config -> Mutation_log.op list -> string
+(** Apply a mutation batch through {!Mutation_log.apply} (publishing a new
+    epoch) and render the response line. *)

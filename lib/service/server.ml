@@ -1,0 +1,220 @@
+type config = { fallback_fraction : float; max_batch : int }
+
+let default_config =
+  { fallback_fraction = Mutation_log.default_config.Mutation_log.fallback_fraction; max_batch = 64 }
+
+type stop = Eof | Shutdown_requested
+
+let c_requests = Obs.Counter.make "service.requests"
+let c_batches = Obs.Counter.make "service.read_batches"
+
+(* One latency histogram per op, registered as a labelled family so the
+   OpenMetrics exposition renders maxtruss_request_duration_ns{op="..."}. *)
+let hist_table : (string, Obs.Histogram.t) Hashtbl.t = Hashtbl.create 8
+
+let hist_for op =
+  match Hashtbl.find_opt hist_table op with
+  | Some h -> h
+  | None ->
+    let h = Obs.Histogram.make (Printf.sprintf "request_duration_ns{op=%s}" op) in
+    Hashtbl.replace hist_table op h;
+    h
+
+(* Buffered line reader over a raw fd, with both a blocking [next] and a
+   non-blocking [ready] so the dispatcher can batch already-pipelined
+   requests without stalling on a quiet connection. *)
+module Line_reader = struct
+  type t = {
+    fd : Unix.file_descr;
+    buf : Buffer.t;
+    chunk : Bytes.t;
+    mutable scan : int;  (** prefix of [buf] known to contain no newline *)
+    mutable eof : bool;
+  }
+
+  let create fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096; scan = 0; eof = false }
+
+  let take_line t =
+    let len = Buffer.length t.buf in
+    let rec find i = if i >= len then -1 else if Buffer.nth t.buf i = '\n' then i else find (i + 1) in
+    let nl = find t.scan in
+    if nl < 0 then begin
+      t.scan <- len;
+      None
+    end
+    else begin
+      let line = Buffer.sub t.buf 0 nl in
+      let rest = Buffer.sub t.buf (nl + 1) (len - nl - 1) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.scan <- 0;
+      Some line
+    end
+
+  let refill t =
+    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    | 0 -> t.eof <- true
+    | n -> Buffer.add_subbytes t.buf t.chunk 0 n
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> t.eof <- true
+
+  let rec next t =
+    match take_line t with
+    | Some l -> Some l
+    | None ->
+      if t.eof then
+        if Buffer.length t.buf > 0 then begin
+          let l = Buffer.contents t.buf in
+          Buffer.clear t.buf;
+          t.scan <- 0;
+          Some l
+        end
+        else None
+      else begin
+        refill t;
+        next t
+      end
+
+  (* [`Line l] if a full line is available without blocking, [`Eof] at end
+     of stream, [`Would_block] otherwise (any partial data stays buffered
+     for the next blocking [next]). *)
+  let rec ready t =
+    match take_line t with
+    | Some l -> `Line l
+    | None ->
+      if t.eof then `Eof
+      else (
+        match Unix.select [ t.fd ] [] [] 0.0 with
+        | [], _, _ -> `Would_block
+        | _ ->
+          refill t;
+          if t.eof then `Eof else ready t)
+end
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let serve_fd ?(config = default_config) store ~input ~output =
+  let lr = Line_reader.create input in
+  let respond line = write_all output (line ^ "\n") in
+  let ml_config = { Mutation_log.fallback_fraction = config.fallback_fraction } in
+  let timed_read epoch req () =
+    let t0 = now_ns () in
+    let resp = Request.handle_read ~epoch req in
+    (resp, Request.op_name req, now_ns () - t0)
+  in
+  (* Evaluate a batch of read requests against one pinned epoch.  The
+     requests are independent and the epoch is frozen, so fanning out on
+     the Par pool keeps answers bit-identical at any domain count. *)
+  let flush_reads reqs =
+    match reqs with
+    | [] -> ()
+    | _ ->
+      let epoch = Store.current store in
+      Obs.Counter.incr c_batches;
+      let results =
+        match reqs with
+        | [ req ] -> [ timed_read epoch req () ]
+        | _ -> Par.map_list (fun req -> timed_read epoch req ()) reqs
+      in
+      List.iter
+        (fun (resp, op, ns) ->
+          Obs.Counter.incr c_requests;
+          Obs.Histogram.observe (hist_for op) (max 0 ns);
+          respond resp)
+        results
+  in
+  let mutate ops =
+    Obs.Counter.incr c_requests;
+    let t0 = now_ns () in
+    let resp = Request.handle_mutate ~store ~config:ml_config ops in
+    Obs.Histogram.observe (hist_for "mutate") (max 0 (now_ns () - t0));
+    respond resp
+  in
+  let rec loop () =
+    match Line_reader.next lr with
+    | None -> Eof
+    | Some line -> dispatch (Request.parse line)
+  and dispatch = function
+    | Error e ->
+      respond (Request.error_response e);
+      loop ()
+    | Ok Request.Shutdown ->
+      respond Request.shutdown_response;
+      Shutdown_requested
+    | Ok (Request.Mutate ops) ->
+      mutate ops;
+      loop ()
+    | Ok first ->
+      (* Read request: gather whatever other reads are already pipelined,
+         stopping at the first barrier (mutate/shutdown/parse error). *)
+      let batch = ref [ first ] in
+      let count = ref 1 in
+      let barrier = ref None in
+      let rec gather () =
+        if !count < config.max_batch && !barrier = None then
+          match Line_reader.ready lr with
+          | `Would_block | `Eof -> ()
+          | `Line l -> (
+            match Request.parse l with
+            | Ok r when Request.is_read r ->
+              batch := r :: !batch;
+              incr count;
+              gather ()
+            | other -> barrier := Some other)
+      in
+      gather ();
+      flush_reads (List.rev !batch);
+      (match !barrier with None -> loop () | Some parsed -> dispatch parsed)
+  in
+  loop ()
+
+let serve_stdin ?config store = serve_fd ?config store ~input:Unix.stdin ~output:Unix.stdout
+
+let accept_loop ?config store listen_fd =
+  let rec go () =
+    let conn, _ = Unix.accept listen_fd in
+    let stop =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+        (fun () -> serve_fd ?config store ~input:conn ~output:conn)
+    in
+    match stop with Eof -> go () | Shutdown_requested -> ()
+  in
+  go ()
+
+let listen_unix ?config ~path store =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 8;
+      accept_loop ?config store fd)
+
+let listen_tcp ?config ~host ~port store =
+  let addr =
+    match host with
+    | "" -> Unix.inet_addr_loopback
+    | h -> (
+      try Unix.inet_addr_of_string h
+      with Failure _ -> (
+        match Unix.getaddrinfo h "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> invalid_arg ("Server.listen_tcp: cannot resolve host " ^ h)))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 8;
+      accept_loop ?config store fd)

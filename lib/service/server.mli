@@ -1,0 +1,37 @@
+(** Line-delimited JSON request server over a pipe or socket.
+
+    The dispatch loop reads one request line at a time; when the first
+    request of a round is a read, every further read already pipelined on
+    the connection (up to [max_batch]) is gathered and the whole batch is
+    evaluated against {e one} pinned epoch on the {!Par} pool — responses
+    still come back in request order.  A [mutate] or [shutdown] acts as a
+    barrier: pending reads flush first, then the mutation publishes a new
+    epoch, so a client always observes its own writes.
+
+    Per-request latency feeds the [request_duration_ns{op=...}] histogram
+    family (one histogram per op, labelled in the OpenMetrics exposition)
+    plus the [service.requests] / [service.read_batches] counters. *)
+
+type config = {
+  fallback_fraction : float;
+      (** forwarded to {!Mutation_log.apply}; see {!Mutation_log.config} *)
+  max_batch : int;  (** most read requests evaluated against one epoch pin *)
+}
+
+val default_config : config
+
+type stop = Eof | Shutdown_requested
+
+val serve_fd : ?config:config -> Store.t -> input:Unix.file_descr -> output:Unix.file_descr -> stop
+(** Serve one connection until EOF or a [shutdown] request. *)
+
+val serve_stdin : ?config:config -> Store.t -> stop
+(** [serve_fd] over stdin/stdout — the pipe mode the smoke test drives. *)
+
+val listen_unix : ?config:config -> path:string -> Store.t -> unit
+(** Bind a Unix-domain socket at [path] (replacing any stale file), accept
+    connections one at a time, and return once a client sends [shutdown].
+    The socket file is removed on the way out. *)
+
+val listen_tcp : ?config:config -> host:string -> port:int -> Store.t -> unit
+(** Same over TCP; [host = ""] binds the loopback address. *)

@@ -1,0 +1,19 @@
+type t = { cell : Epoch.t Atomic.t; writer : Mutex.t }
+
+let g_generation = Obs.Gauge.make "service.epoch_generation"
+
+let create epoch =
+  Obs.Gauge.set_int g_generation (Epoch.generation epoch);
+  { cell = Atomic.make epoch; writer = Mutex.create () }
+
+let current t = Atomic.get t.cell
+
+let publish t ~build =
+  Mutex.lock t.writer;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.writer)
+    (fun () ->
+      let next = build (Atomic.get t.cell) in
+      Atomic.set t.cell next;
+      Obs.Gauge.set_int g_generation (Epoch.generation next);
+      next)

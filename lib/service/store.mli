@@ -1,0 +1,25 @@
+(** RCU-style epoch publication.
+
+    Readers grab the current epoch with one atomic load ({!current}) and
+    keep using it for as long as they like — epochs are immutable, so a
+    reader is never invalidated, it just gets older.  A single writer at a
+    time ({!publish}, serialized by a mutex) builds the next epoch from the
+    current one and swaps it in with one atomic store.  No reader ever
+    blocks a writer or vice versa; memory is reclaimed by the GC once the
+    last reader of an old epoch drops it.
+
+    The [service.epoch_generation] gauge tracks the published generation. *)
+
+type t
+
+val create : Epoch.t -> t
+
+val current : t -> Epoch.t
+(** Lock-free; any domain. *)
+
+val publish : t -> build:(Epoch.t -> Epoch.t) -> Epoch.t
+(** [publish t ~build] runs [build current] under the writer mutex and
+    publishes its result (returning it).  [build] sees the true latest
+    epoch — concurrent [publish] calls are serialized, not lost.  Readers
+    calling {!current} during the build keep getting the old epoch and
+    switch atomically when the swap lands. *)

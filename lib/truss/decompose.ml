@@ -119,6 +119,17 @@ let run ?(impl = `Csr) g =
       Obs.Counter.add c_edges_peeled (Hashtbl.length t.tau);
       t)
 
+let patched t ~changes =
+  let tau = Hashtbl.copy t.tau in
+  List.iter
+    (fun (key, change) ->
+      match change with
+      | Some v -> Hashtbl.replace tau key v
+      | None -> Hashtbl.remove tau key)
+    changes;
+  let kmax = Hashtbl.fold (fun _ v acc -> max v acc) tau 0 in
+  { tau; kmax }
+
 let trussness t key = Hashtbl.find t.tau key
 
 let trussness_opt t key = Hashtbl.find_opt t.tau key

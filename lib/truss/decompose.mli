@@ -19,6 +19,13 @@ val run : ?impl:[ `Csr | `Hashtbl ] -> Graph.t -> t
     reference path (peeling a mutable copy with an [Edge_key]-keyed bucket
     queue).  Both produce identical trussness maps. *)
 
+val patched : t -> changes:(Edge_key.t * int option) list -> t
+(** Copy with trussness overrides applied: [(key, Some tau)] sets the
+    edge's trussness (adding the edge when new), [(key, None)] drops it;
+    [kmax] is recomputed.  [t] is untouched.  This is how the service's
+    mutation log derives the post-batch decomposition from a
+    {!Maintain.batch_update_csr} delta without re-peeling the graph. *)
+
 val trussness : t -> Edge_key.t -> int
 (** Trussness of an edge; raises [Not_found] for edges absent from the
     decomposed graph. *)

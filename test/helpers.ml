@@ -105,6 +105,12 @@ let oracle_trussness g =
 
 let sorted_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
 
+(* Substring membership, for asserting on rendered response lines. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
 (* Deterministic default for `dune runtest`: without a pinned seed every run
    samples fresh qcheck instances, and the marginal heuristic-quality
    properties (e.g. "PCFR reaches at least half the restricted optimum",

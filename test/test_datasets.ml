@@ -1,7 +1,7 @@
 open Graphcore
 
-let test_nine_datasets () =
-  Alcotest.(check int) "nine entries" 9 (List.length Datasets.Registry.all)
+let test_ten_datasets () =
+  Alcotest.(check int) "ten entries" 10 (List.length Datasets.Registry.all)
 
 let test_names_unique () =
   let names = Datasets.Registry.names in
@@ -46,7 +46,7 @@ let test_shortcuts () =
 
 let suite =
   [
-    Alcotest.test_case "nine datasets" `Quick test_nine_datasets;
+    Alcotest.test_case "ten datasets" `Quick test_ten_datasets;
     Alcotest.test_case "names unique" `Quick test_names_unique;
     Alcotest.test_case "find" `Quick test_find;
     Alcotest.test_case "deterministic builds" `Slow test_deterministic_builds;

@@ -39,9 +39,75 @@ let prop_index_matches_decompose =
       done;
       !ok)
 
+let test_of_deltas () =
+  let g = Helpers.fig1 () in
+  let dec = Truss.Decompose.run g in
+  let idx = Truss.Index.build dec in
+  (* remove one 5-class edge, promote (0,7) to 4, insert a fresh edge at 3 *)
+  let changes =
+    [
+      (Edge_key.make 0 1, None);
+      (Edge_key.make 0 7, Some 4);
+      (Edge_key.make 7 9, Some 3);
+    ]
+  in
+  let idx' = Truss.Index.of_deltas idx ~changes in
+  Alcotest.(check (option int)) "removed edge gone" None
+    (Truss.Index.trussness idx' (Edge_key.make 0 1));
+  Alcotest.(check (option int)) "promoted edge moved" (Some 4)
+    (Truss.Index.trussness idx' (Edge_key.make 0 7));
+  Alcotest.(check (option int)) "inserted edge present" (Some 3)
+    (Truss.Index.trussness idx' (Edge_key.make 7 9));
+  (* the source index is untouched *)
+  Alcotest.(check (option int)) "original unchanged" (Some 3)
+    (Truss.Index.trussness idx (Edge_key.make 0 7));
+  Alcotest.(check (option int)) "original still has (0,1)" (Some 5)
+    (Truss.Index.trussness idx (Edge_key.make 0 1))
+
+(* of_deltas must be indistinguishable from rebuilding the index on the
+   mutated graph, for deltas produced by the real maintenance pass. *)
+let prop_of_deltas_matches_rebuild =
+  QCheck2.Test.make ~name:"of_deltas equals rebuild on maintenance deltas" ~count:80
+    QCheck2.Gen.(
+      let* edges = Helpers.random_graph_gen () in
+      let* extra = list_size (int_range 0 5) (pair (int_range 0 13) (int_range 0 13)) in
+      return (edges, extra))
+    (fun (edges, extra) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let dec = Truss.Decompose.run g in
+      let idx = Truss.Index.build dec in
+      let inserted =
+        List.filter (fun (u, v) -> u <> v && not (Graph.mem_edge g u v)) extra
+        |> List.sort_uniq compare
+      in
+      let result =
+        Truss.Maintain.batch_update_csr ~csr:(Csr.of_graph g)
+          ~tau:(Truss.Decompose.trussness_opt dec)
+          ~kmax:(Truss.Decompose.kmax dec) ~inserted ~deleted:[]
+      in
+      let idx' = Truss.Index.of_deltas idx ~changes:result.Truss.Maintain.changes in
+      let g' = Graph.copy g in
+      List.iter (fun (u, v) -> ignore (Graph.add_edge g' u v)) inserted;
+      let fresh = Truss.Index.build (Truss.Decompose.run g') in
+      let ok = ref (Truss.Index.kmax idx' = Truss.Index.kmax fresh) in
+      if Truss.Index.class_bounds idx' <> Truss.Index.class_bounds fresh then ok := false;
+      Graph.iter_edges g' (fun u v ->
+          let key = Edge_key.make u v in
+          if Truss.Index.trussness idx' key <> Truss.Index.trussness fresh key then ok := false);
+      for k = 2 to Truss.Index.kmax fresh + 1 do
+        if
+          List.sort compare (Truss.Index.k_class idx' k)
+          <> List.sort compare (Truss.Index.k_class fresh k)
+        then ok := false
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "fig1 index" `Quick test_fig1_index;
     Alcotest.test_case "empty index" `Quick test_empty_index;
     Helpers.qtest prop_index_matches_decompose;
+    Alcotest.test_case "of_deltas patches and preserves" `Quick test_of_deltas;
+    Helpers.qtest prop_of_deltas_matches_rebuild;
   ]

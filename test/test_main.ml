@@ -59,6 +59,7 @@ let () =
       ("json_min", Test_json_min.suite);
       ("obs", Test_obs.suite);
       ("par", Test_par.suite);
+      ("service", Test_service.suite);
       ("perf_baseline", Test_perf_baseline.suite);
       ("misc", Test_misc.suite);
       ("integration", Test_integration.suite);

@@ -174,9 +174,90 @@ let prop_insert_then_delete_roundtrip =
       let delta = Truss.Maintain.k_truss_after_delete ~g ~old_truss:t1 ~k ~deleted:fresh in
       delta.Truss.Maintain.remaining = Hashtbl.length t0)
 
+(* --- pure CSR batch maintenance ------------------------------------------- *)
+
+(* Random batch meeting batch_update_csr's preconditions: inserted edges
+   absent from g, deleted edges present, both lists disjoint and dedup'd. *)
+let batch_gen =
+  QCheck2.Gen.(
+    let* edges = Helpers.random_graph_gen () in
+    let* raw_ins = list_size (int_range 0 6) (pair (int_range 0 14) (int_range 0 14)) in
+    let* del_picks = list_size (int_range 0 4) (int_range 0 1_000_000) in
+    return (edges, raw_ins, del_picks))
+
+let prop_batch_matches_full_recompute =
+  QCheck2.Test.make ~name:"CSR batch update equals full recomputation" ~count:150 batch_gen
+    (fun (edges, raw_ins, del_picks) ->
+      QCheck2.assume (edges <> []);
+      let g = Graph.of_edges edges in
+      let csr = Csr.of_graph g in
+      let dec = Truss.Decompose.run g in
+      let all_edges = Graph.edge_array g in
+      let deleted =
+        List.map (fun pick -> Edge_key.endpoints all_edges.(pick mod Array.length all_edges)) del_picks
+        |> List.sort_uniq compare
+      in
+      let del_tbl = Hashtbl.create 8 in
+      List.iter (fun (u, v) -> Hashtbl.replace del_tbl (Edge_key.make u v) ()) deleted;
+      let inserted =
+        List.filter
+          (fun (u, v) ->
+            u <> v && (not (Graph.mem_edge g u v)) && not (Hashtbl.mem del_tbl (Edge_key.make u v)))
+          raw_ins
+        |> List.sort_uniq compare
+      in
+      let result =
+        Truss.Maintain.batch_update_csr ~csr
+          ~tau:(Truss.Decompose.trussness_opt dec)
+          ~kmax:(Truss.Decompose.kmax dec) ~inserted ~deleted
+      in
+      (* apply changes to a copy of the base tau table; oracle = full run *)
+      let patched = Truss.Decompose.patched dec ~changes:result.Truss.Maintain.changes in
+      let g' = Graph.copy g in
+      List.iter (fun (u, v) -> ignore (Graph.remove_edge g' u v)) deleted;
+      List.iter (fun (u, v) -> ignore (Graph.add_edge g' u v)) inserted;
+      let oracle = Truss.Decompose.run g' in
+      let ok = ref (Truss.Decompose.kmax patched = Truss.Decompose.kmax oracle) in
+      if Truss.Decompose.num_edges patched <> Truss.Decompose.num_edges oracle then ok := false;
+      Truss.Decompose.iter oracle (fun key tau ->
+          if Truss.Decompose.trussness_opt patched key <> Some tau then ok := false);
+      (* pure: base graph, snapshot and decomposition are untouched *)
+      if Truss.Decompose.num_edges dec <> Graph.num_edges g then ok := false;
+      !ok)
+
+let test_batch_is_pure () =
+  let g = Helpers.two_cliques_shared_edge () in
+  let before = Graph.copy g in
+  let csr = Csr.of_graph g in
+  let dec = Truss.Decompose.run g in
+  let kmax0 = Truss.Decompose.kmax dec in
+  ignore
+    (Truss.Maintain.batch_update_csr ~csr
+       ~tau:(Truss.Decompose.trussness_opt dec)
+       ~kmax:kmax0
+       ~inserted:[ (2, 5); (3, 5) ]
+       ~deleted:[ (0, 1) ]);
+  Alcotest.(check bool) "graph untouched" true (Graph.equal g before);
+  Alcotest.(check int) "decomposition untouched" kmax0 (Truss.Decompose.kmax dec)
+
+let test_batch_empty_is_noop () =
+  let g = Helpers.clique 5 in
+  let csr = Csr.of_graph g in
+  let dec = Truss.Decompose.run g in
+  let result =
+    Truss.Maintain.batch_update_csr ~csr
+      ~tau:(Truss.Decompose.trussness_opt dec)
+      ~kmax:(Truss.Decompose.kmax dec) ~inserted:[] ~deleted:[]
+  in
+  Alcotest.(check int) "no changes" 0 (List.length result.Truss.Maintain.changes);
+  Alcotest.(check int) "no region" 0 result.Truss.Maintain.region_edges
+
 let suite =
   [
     Alcotest.test_case "insert completes truss" `Quick test_insert_completes_truss;
+    Helpers.qtest prop_batch_matches_full_recompute;
+    Alcotest.test_case "batch update is pure" `Quick test_batch_is_pure;
+    Alcotest.test_case "empty batch is a no-op" `Quick test_batch_empty_is_noop;
     Alcotest.test_case "delete breaks truss" `Quick test_delete_breaks_truss;
     Alcotest.test_case "delete outside truss" `Quick test_delete_outside_truss;
     Alcotest.test_case "delete absent edge" `Quick test_delete_absent_edge_ignored;

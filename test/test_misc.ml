@@ -79,7 +79,8 @@ let test_registry_scales () =
   let small =
     List.filter (fun (s : Datasets.Registry.spec) -> s.scale = `Small) Datasets.Registry.all
   in
-  Alcotest.(check int) "five small datasets (paper's split)" 5 (List.length small)
+  Alcotest.(check int) "six small datasets (paper's split + gowalla-sample)" 6
+    (List.length small)
 
 let prop_index_class_sizes_consistent =
   QCheck2.Test.make ~name:"index truss sizes telescope over classes" ~count:60

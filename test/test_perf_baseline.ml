@@ -336,9 +336,37 @@ let test_history_roundtrip () =
          "{\"schema\": \"maxtruss-perf-baseline\", \"version\": 3, \"entries\": \
           [], \"history\": [ [ { \"median_ns\": 1 } ] ]}")
 
+(* of_json failures must name the kernel (or entry position) and the field
+   in one line — the string an operator sees when a hand-edited baseline
+   goes wrong. *)
+let test_error_messages () =
+  let check_msg what expected json =
+    match Perf_baseline.of_json json with
+    | Ok _ -> Alcotest.failf "%s: expected an error" what
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S appears in %S" what expected msg)
+        true
+        (Helpers.contains msg expected)
+  in
+  let doc entries =
+    Printf.sprintf
+      "{\"schema\": \"maxtruss-perf-baseline\", \"version\": 3, \"entries\": [%s]}" entries
+  in
+  check_msg "nameless entry is positional" "entry 2:"
+    (doc "{ \"name\": \"a\", \"median_ns\": 1 }, { \"median_ns\": 2 }");
+  check_msg "bad field names the kernel" "kernel \"a\": field \"median_ns\""
+    (doc "{ \"name\": \"a\", \"median_ns\": \"fast\" }");
+  check_msg "bad tol names the kernel" "kernel \"a\": field \"tol\""
+    (doc "{ \"name\": \"a\", \"median_ns\": 1, \"tol\": \"loose\" }");
+  check_msg "history errors carry the run index" "history run 1:"
+    ("{\"schema\": \"maxtruss-perf-baseline\", \"version\": 3, \"entries\": [], \
+      \"history\": [ [ { \"name\": \"a\", \"mad_ns\": [] } ] ]}")
+
 let suite =
   [
     Alcotest.test_case "median + mad" `Quick test_median_mad;
+    Alcotest.test_case "error messages name kernel and field" `Quick test_error_messages;
     Alcotest.test_case "of_samples" `Quick test_of_samples;
     Alcotest.test_case "write/read roundtrip" `Quick test_roundtrip;
     Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;

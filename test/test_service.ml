@@ -1,0 +1,322 @@
+(* Service layer: epoch immutability under concurrent publication, the
+   mutation log against a full-recompute oracle, request parsing, and
+   pipe-served end-to-end round trips. *)
+
+open Graphcore
+
+let store_of g = Service.Store.create (Service.Epoch.create g)
+
+(* The canonical read set the isolation/oracle checks compare on: broad
+   enough that a stale CSR offset, a wrong patched trussness or a wrong
+   onion layer all change some response byte. *)
+let probe_requests epoch =
+  let kmax = Service.Epoch.kmax epoch in
+  let edges =
+    Graph.edge_array (Service.Epoch.graph epoch)
+    |> Array.to_list
+    |> List.map Edge_key.endpoints
+  in
+  [
+    Service.Request.Decompose;
+    Service.Request.Stats;
+    Service.Request.Truss_query { k = 3; limit = None };
+    Service.Request.Truss_query { k = max 3 kmax; limit = None };
+    Service.Request.Onion { k = max 3 kmax; limit = None };
+    Service.Request.Trussness ((0, 1) :: (0, 99) :: edges);
+  ]
+
+let probe_with reqs epoch = List.map (fun req -> Service.Request.handle_read ~epoch req) reqs
+let probe epoch = probe_with (probe_requests epoch) epoch
+
+(* Compare two epochs over the same graph on one shared request list (the
+   trussness probe enumerates edges, whose order is a property of the graph
+   instance — the requests must be built once, not per epoch). *)
+let answers_match a b =
+  let reqs = probe_requests a in
+  probe_with reqs a = probe_with reqs b
+
+(* --- epoch isolation ------------------------------------------------------ *)
+
+let test_reader_pins_epoch () =
+  let store = store_of (Helpers.two_cliques_shared_edge ()) in
+  let pinned = Service.Store.current store in
+  let before = probe pinned in
+  (* Writer publishes three epochs while the reader holds generation 0. *)
+  List.iter
+    (fun ops -> ignore (Service.Mutation_log.apply store ops))
+    [
+      [ Service.Mutation_log.Delete (0, 1) ];
+      [ Service.Mutation_log.Insert (2, 7); Service.Mutation_log.Insert (3, 7) ];
+      [ Service.Mutation_log.Delete (5, 6); Service.Mutation_log.Insert (0, 1) ];
+    ];
+  Alcotest.(check int) "store advanced" 3
+    (Service.Epoch.generation (Service.Store.current store));
+  Alcotest.(check (list string)) "pinned epoch answers unchanged" before (probe pinned);
+  Alcotest.(check int) "pinned generation still 0" 0 (Service.Epoch.generation pinned)
+
+let test_concurrent_reader () =
+  (* A reader domain hammers a pinned epoch while the main domain publishes
+     a stream of batches; every answer must equal the first. *)
+  let store = store_of (Gen.complete 7) in
+  let pinned = Service.Store.current store in
+  let expected = probe pinned in
+  let failures = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        for _ = 1 to 40 do
+          if probe pinned <> expected then Atomic.incr failures
+        done)
+  in
+  for i = 0 to 19 do
+    ignore
+      (Service.Mutation_log.apply store
+         [ Service.Mutation_log.Insert (100 + i, 101 + i); Service.Mutation_log.Delete (0, 1) ])
+  done;
+  Domain.join reader;
+  Alcotest.(check int) "no divergent read" 0 (Atomic.get failures);
+  Alcotest.(check int) "twenty generations published" 20
+    (Service.Epoch.generation (Service.Store.current store))
+
+let test_onion_memo_idempotent () =
+  let epoch = Service.Epoch.create (Helpers.two_cliques_shared_edge ()) in
+  let k = Service.Epoch.kmax epoch in
+  let a = Service.Epoch.onion_layers epoch ~k in
+  let b = Service.Epoch.onion_layers epoch ~k in
+  Alcotest.(check bool) "memoized result stable" true (a = b);
+  Alcotest.(check bool) "k < 3 is empty" true
+    (Service.Epoch.onion_layers epoch ~k:2 = ([], 0))
+
+(* --- mutation log vs full recompute --------------------------------------- *)
+
+let script_gen =
+  QCheck2.Gen.(
+    let* edges = Helpers.random_graph_gen () in
+    let* script =
+      list_size (int_range 1 4)
+        (list_size (int_range 1 8)
+           (let* insert = bool in
+            let* u = int_range 0 13 in
+            let* v = int_range 0 13 in
+            return
+              (if insert then Service.Mutation_log.Insert (u, v)
+               else Service.Mutation_log.Delete (u, v))))
+    in
+    return (edges, script))
+
+(* After every batch the published epoch must answer exactly like an epoch
+   rebuilt from scratch on the same graph — and with the default config
+   these tiny batches must stay on the incremental path. *)
+let prop_apply_matches_rebuild =
+  QCheck2.Test.make ~name:"mutation log equals full recompute after every batch" ~count:120
+    script_gen
+    (fun (edges, script) ->
+      QCheck2.assume (edges <> []);
+      let store = store_of (Graph.of_edges edges) in
+      List.for_all
+        (fun ops ->
+          let out = Service.Mutation_log.apply store ops in
+          let e = out.Service.Mutation_log.epoch in
+          let oracle =
+            Service.Epoch.create
+              ~generation:(Service.Epoch.generation e)
+              (Service.Epoch.graph e)
+          in
+          answers_match e oracle)
+        script)
+
+let prop_apply_counts_net_changes =
+  QCheck2.Test.make ~name:"outcome counts reflect the graph delta" ~count:120 script_gen
+    (fun (edges, script) ->
+      QCheck2.assume (edges <> []);
+      let store = store_of (Graph.of_edges edges) in
+      List.for_all
+        (fun ops ->
+          let before = Service.Epoch.num_edges (Service.Store.current store) in
+          let out = Service.Mutation_log.apply store ops in
+          let after = Service.Epoch.num_edges out.Service.Mutation_log.epoch in
+          after - before
+          = out.Service.Mutation_log.inserted - out.Service.Mutation_log.deleted)
+        script)
+
+let test_normalization_cancels () =
+  let store = store_of (Helpers.triangle ()) in
+  (* insert an existing edge; delete-then-reinsert an edge; a self-loop *)
+  let out =
+    Service.Mutation_log.apply store
+      [
+        Service.Mutation_log.Insert (0, 1);
+        Service.Mutation_log.Delete (1, 2);
+        Service.Mutation_log.Insert (1, 2);
+        Service.Mutation_log.Insert (5, 5);
+      ]
+  in
+  Alcotest.(check int) "nothing inserted" 0 out.Service.Mutation_log.inserted;
+  Alcotest.(check int) "nothing deleted" 0 out.Service.Mutation_log.deleted;
+  (* the existing-edge insert and the self-loop are literal no-ops; the
+     delete/insert pair nets to zero without being "ignored" *)
+  Alcotest.(check int) "two ops ignored" 2 out.Service.Mutation_log.ignored;
+  Alcotest.(check int) "still a fresh generation" 1
+    (Service.Epoch.generation out.Service.Mutation_log.epoch);
+  Alcotest.(check int) "edge set untouched" 3
+    (Service.Epoch.num_edges out.Service.Mutation_log.epoch)
+
+let test_fallback_threshold () =
+  let store = store_of (Gen.complete 6) in
+  let fallbacks0 = Service.Mutation_log.fallback_count () in
+  let config = { Service.Mutation_log.fallback_fraction = 0.0 } in
+  let out = Service.Mutation_log.apply ~config store [ Service.Mutation_log.Delete (0, 1) ] in
+  Alcotest.(check bool) "zero threshold forces the rebuild path" true
+    out.Service.Mutation_log.fallback;
+  Alcotest.(check int) "fallback counted" (fallbacks0 + 1) (Service.Mutation_log.fallback_count ());
+  (* and the rebuilt epoch still answers like a fresh one *)
+  let e = out.Service.Mutation_log.epoch in
+  let oracle =
+    Service.Epoch.create ~generation:(Service.Epoch.generation e) (Service.Epoch.graph e)
+  in
+  Alcotest.(check bool) "rebuild path exact" true (answers_match e oracle)
+
+(* --- request parsing ------------------------------------------------------ *)
+
+let test_parse_ok () =
+  let ok s = match Service.Request.parse s with Ok r -> r | Error e -> Alcotest.fail e in
+  (match ok {|{"op":"decompose"}|} with
+  | Service.Request.Decompose -> ()
+  | _ -> Alcotest.fail "decompose");
+  (match ok {|{"op":"trussness","edges":[[0,1],[2,3]]}|} with
+  | Service.Request.Trussness [ (0, 1); (2, 3) ] -> ()
+  | _ -> Alcotest.fail "trussness");
+  (match ok {|{"op":"truss-query","k":4,"limit":10}|} with
+  | Service.Request.Truss_query { k = 4; limit = Some 10 } -> ()
+  | _ -> Alcotest.fail "truss-query");
+  (match ok {|{"op":"mutate","ops":[["insert",1,2],["delete",2,3]]}|} with
+  | Service.Request.Mutate
+      [ Service.Mutation_log.Insert (1, 2); Service.Mutation_log.Delete (2, 3) ] ->
+    ()
+  | _ -> Alcotest.fail "mutate");
+  (match ok {|{"op":"maximize","k":5,"budget":10}|} with
+  | Service.Request.Maximize
+      { k = 5; budget = 10; algo = Service.Request.Pcfr; seed = 42; g_probes = None } ->
+    ()
+  | _ -> Alcotest.fail "maximize defaults");
+  match ok {|{"op":"shutdown"}|} with
+  | Service.Request.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown"
+
+let test_parse_errors () =
+  let err s =
+    match Service.Request.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  in
+  err "not json";
+  err {|{"op":"frobnicate"}|};
+  err {|{"op":"mutate","ops":[["upsert",1,2]]}|};
+  err {|[1,2,3]|}
+
+(* --- end-to-end over a pipe ----------------------------------------------- *)
+
+(* Feed the script through serve_fd over a pipe pair and return the stop
+   reason plus response lines.  Requests are written up front (the scripts
+   here stay far under pipe capacity), so the single-threaded server just
+   drains to EOF or shutdown. *)
+let serve_script store lines =
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let payload = String.concat "\n" lines ^ "\n" in
+  let n = Unix.write_substring in_w payload 0 (String.length payload) in
+  Alcotest.(check int) "script fits the pipe" (String.length payload) n;
+  Unix.close in_w;
+  let stop = Service.Server.serve_fd store ~input:in_r ~output:out_w in
+  Unix.close out_w;
+  Unix.close in_r;
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read out_r chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+  in
+  drain ();
+  Unix.close out_r;
+  let responses =
+    String.split_on_char '\n' (Buffer.contents buf) |> List.filter (fun l -> l <> "")
+  in
+  (stop, responses)
+
+let script =
+  [
+    {|{"op":"stats"}|};
+    {|{"op":"decompose"}|};
+    {|{"op":"trussness","edges":[[0,1],[0,9]]}|};
+    {|{"op":"truss-query","k":4,"limit":5}|};
+    {|{"op":"mutate","ops":[["delete",0,1],["insert",0,9]]}|};
+    {|{"op":"stats"}|};
+    {|{"op":"shutdown"}|};
+  ]
+
+let test_server_round_trip () =
+  let stop, responses = serve_script (store_of (Helpers.two_cliques_shared_edge ())) script in
+  Alcotest.(check bool) "stopped on shutdown" true (stop = Service.Server.Shutdown_requested);
+  Alcotest.(check int) "one response per request" (List.length script) (List.length responses);
+  List.iter
+    (fun r -> Alcotest.(check char) "json object per line" '{' r.[0])
+    responses;
+  Alcotest.(check string) "shutdown ack last" Service.Request.shutdown_response
+    (List.nth responses 6);
+  let mutate_resp = List.nth responses 4 in
+  Alcotest.(check bool) "mutate stayed incremental" true
+    (Helpers.contains mutate_resp {|"fallback":false|});
+  (* the client observes its own write: stats before and after differ *)
+  Alcotest.(check bool) "stats advanced" true (List.nth responses 0 <> List.nth responses 5)
+
+let test_server_eof_and_errors () =
+  let stop, responses =
+    serve_script (store_of (Helpers.triangle ())) [ "garbage"; {|{"op":"stats"}|} ]
+  in
+  Alcotest.(check bool) "stopped on eof" true (stop = Service.Server.Eof);
+  Alcotest.(check int) "both lines answered" 2 (List.length responses);
+  Alcotest.(check bool) "parse error reported inline" true
+    (Helpers.contains (List.nth responses 0) "error")
+
+let test_server_deterministic_across_domains () =
+  (* The same script against identical stores must produce byte-identical
+     transcripts whether read batches run inline or on a 4-domain pool. *)
+  let saved = Par.domains () in
+  Fun.protect ~finally:(fun () -> Par.set_domains saved) @@ fun () ->
+  Par.set_domains 1;
+  let _, one = serve_script (store_of (Helpers.two_cliques_shared_edge ())) script in
+  Par.set_domains 4;
+  let _, four = serve_script (store_of (Helpers.two_cliques_shared_edge ())) script in
+  Alcotest.(check (list string)) "transcripts identical at 1 vs 4 domains" one four
+
+let test_maximize_leaves_epoch_intact () =
+  let epoch = Service.Epoch.create (Helpers.two_cliques_shared_edge ()) in
+  let edges_before = Service.Epoch.num_edges epoch in
+  let req =
+    Service.Request.Maximize
+      { k = 5; budget = 4; algo = Service.Request.Pcfr; seed = 42; g_probes = None }
+  in
+  let a = Service.Request.handle_read ~epoch req in
+  let b = Service.Request.handle_read ~epoch req in
+  Alcotest.(check string) "maximize deterministic" a b;
+  Alcotest.(check int) "epoch graph untouched" edges_before (Service.Epoch.num_edges epoch)
+
+let suite =
+  [
+    Alcotest.test_case "reader pins its epoch" `Quick test_reader_pins_epoch;
+    Alcotest.test_case "concurrent reader vs writer" `Quick test_concurrent_reader;
+    Alcotest.test_case "onion memo idempotent" `Quick test_onion_memo_idempotent;
+    Helpers.qtest prop_apply_matches_rebuild;
+    Helpers.qtest prop_apply_counts_net_changes;
+    Alcotest.test_case "normalization cancels no-ops" `Quick test_normalization_cancels;
+    Alcotest.test_case "fallback threshold" `Quick test_fallback_threshold;
+    Alcotest.test_case "parse: valid requests" `Quick test_parse_ok;
+    Alcotest.test_case "parse: invalid requests" `Quick test_parse_errors;
+    Alcotest.test_case "server round trip" `Quick test_server_round_trip;
+    Alcotest.test_case "server eof + parse errors" `Quick test_server_eof_and_errors;
+    Alcotest.test_case "server deterministic at 1 vs 4 domains" `Quick
+      test_server_deterministic_across_domains;
+    Alcotest.test_case "maximize copies the graph" `Quick test_maximize_leaves_epoch_intact;
+  ]
