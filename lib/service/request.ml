@@ -38,6 +38,8 @@ let field_int ?default json name =
     | Some i -> Ok i
     | None -> Error (Printf.sprintf "field %S must be an integer" name))
 
+let require cond msg = if cond then Ok () else Error msg
+
 let field_int_opt json name =
   match Json_min.member name json with
   | None -> Ok None
@@ -102,16 +104,31 @@ let parse line =
     | Some "truss-query" ->
       let* k = field_int json "k" in
       let* limit = field_int_opt json "limit" in
+      let* () = require (k >= 0) "field \"k\" must be non-negative" in
+      let* () =
+        require (match limit with Some n -> n >= 0 | None -> true) "field \"limit\" must be non-negative"
+      in
       Ok (Truss_query { k; limit })
     | Some "onion" ->
       let* k = field_int json "k" in
       let* limit = field_int_opt json "limit" in
+      let* () = require (k >= 0) "field \"k\" must be non-negative" in
+      let* () =
+        require (match limit with Some n -> n >= 0 | None -> true) "field \"limit\" must be non-negative"
+      in
       Ok (Onion { k; limit })
     | Some "maximize" ->
       let* k = field_int json "k" in
       let* budget = field_int json "budget" in
       let* seed = field_int ~default:42 json "seed" in
       let* g_probes = field_int_opt json "g_probes" in
+      (* Same ranges the one-shot CLI enforces; rejecting here keeps a bad
+         request from reaching evaluators that raise Invalid_argument. *)
+      let* () = require (k >= 3) "field \"k\" must be at least 3" in
+      let* () = require (budget >= 0) "field \"budget\" must be non-negative" in
+      let* () =
+        require (match g_probes with Some p -> p >= 1 | None -> true) "field \"g_probes\" must be positive"
+      in
       let* algo =
         match Json_min.member "algo" json with
         | None -> Ok Pcfr
@@ -145,12 +162,16 @@ let buf_pairs b pairs =
     pairs;
   Buffer.add_char b ']'
 
+(* Tail-recursive: a large [limit] on a big truss must not blow the stack. *)
 let truncate limit l =
   match limit with
   | None -> l
   | Some n ->
-    let rec take n = function x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> [] in
-    take (max 0 n) l
+    let rec take acc n = function
+      | x :: rest when n > 0 -> take (x :: acc) (n - 1) rest
+      | _ -> List.rev acc
+    in
+    take [] (max 0 n) l
 
 let handle_read ~epoch req =
   let b = Buffer.create 256 in

@@ -32,6 +32,11 @@ val is_read : t -> bool
     barriers for the server's read batching. *)
 
 val parse : string -> (t, string) result
+(** Parse one request line, validating both JSON shape and value ranges
+    ([limit] ≥ 0, query [k] ≥ 0; for [maximize]: [k] ≥ 3, [budget] ≥ 0,
+    [g_probes] ≥ 1 — the same ranges the one-shot CLI enforces), so a
+    well-formed-but-out-of-range request is rejected here instead of
+    raising inside an evaluator. *)
 
 val error_response : string -> string
 (** [{"error":"..."}]. *)

@@ -5,6 +5,16 @@ let default_config =
 
 type stop = Eof | Shutdown_requested
 
+(* Raised by the write path when the client vanished mid-response; treated
+   exactly like EOF so one rude client never takes the daemon down. *)
+exception Client_gone
+
+(* A client closing its end mid-write must surface as EPIPE (handled in
+   [write_all]) rather than a process-killing SIGPIPE.  Idempotent; no-op
+   on platforms without the signal. *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ())
+
 let c_requests = Obs.Counter.make "service.requests"
 let c_batches = Obs.Counter.make "service.read_batches"
 
@@ -26,35 +36,55 @@ let hist_for op =
 module Line_reader = struct
   type t = {
     fd : Unix.file_descr;
-    buf : Buffer.t;
-    chunk : Bytes.t;
-    mutable scan : int;  (** prefix of [buf] known to contain no newline *)
+    mutable buf : Bytes.t;
+    mutable head : int;  (** start of unconsumed data in [buf] *)
+    mutable tail : int;  (** end of unconsumed data in [buf] *)
+    mutable scan : int;  (** [buf.\[head..scan)] known to contain no newline *)
     mutable eof : bool;
   }
 
-  let create fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096; scan = 0; eof = false }
+  let create fd = { fd; buf = Bytes.create 4096; head = 0; tail = 0; scan = 0; eof = false }
 
+  (* Lines are consumed by advancing [head] — no per-line copy of the rest
+     of the buffer — so draining a large pipelined burst is linear in the
+     buffered bytes, not quadratic. *)
   let take_line t =
-    let len = Buffer.length t.buf in
-    let rec find i = if i >= len then -1 else if Buffer.nth t.buf i = '\n' then i else find (i + 1) in
+    let rec find i = if i >= t.tail then -1 else if Bytes.get t.buf i = '\n' then i else find (i + 1) in
     let nl = find t.scan in
     if nl < 0 then begin
-      t.scan <- len;
+      t.scan <- t.tail;
       None
     end
     else begin
-      let line = Buffer.sub t.buf 0 nl in
-      let rest = Buffer.sub t.buf (nl + 1) (len - nl - 1) in
-      Buffer.clear t.buf;
-      Buffer.add_string t.buf rest;
-      t.scan <- 0;
+      let line = Bytes.sub_string t.buf t.head (nl - t.head) in
+      t.head <- nl + 1;
+      t.scan <- t.head;
+      if t.head = t.tail then begin
+        t.head <- 0;
+        t.tail <- 0;
+        t.scan <- 0
+      end;
       Some line
     end
 
   let refill t =
-    match Unix.read t.fd t.chunk 0 (Bytes.length t.chunk) with
+    if t.tail = Bytes.length t.buf then
+      if t.head > 0 then begin
+        (* compact: slide the unconsumed suffix to the front *)
+        Bytes.blit t.buf t.head t.buf 0 (t.tail - t.head);
+        t.tail <- t.tail - t.head;
+        t.scan <- t.scan - t.head;
+        t.head <- 0
+      end
+      else begin
+        (* a single line longer than the buffer: grow *)
+        let bigger = Bytes.create (2 * Bytes.length t.buf) in
+        Bytes.blit t.buf 0 bigger 0 t.tail;
+        t.buf <- bigger
+      end;
+    match Unix.read t.fd t.buf t.tail (Bytes.length t.buf - t.tail) with
     | 0 -> t.eof <- true
-    | n -> Buffer.add_subbytes t.buf t.chunk 0 n
+    | n -> t.tail <- t.tail + n
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> t.eof <- true
 
   let rec next t =
@@ -62,9 +92,10 @@ module Line_reader = struct
     | Some l -> Some l
     | None ->
       if t.eof then
-        if Buffer.length t.buf > 0 then begin
-          let l = Buffer.contents t.buf in
-          Buffer.clear t.buf;
+        if t.tail > t.head then begin
+          let l = Bytes.sub_string t.buf t.head (t.tail - t.head) in
+          t.head <- 0;
+          t.tail <- 0;
           t.scan <- 0;
           Some l
         end
@@ -93,19 +124,35 @@ end
 let write_all fd s =
   let b = Bytes.of_string s in
   let len = Bytes.length b in
-  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Client_gone
+  in
   go 0
 
 let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
 
+(* Exception barrier around request evaluation: Request.parse rejects
+   out-of-range parameters up front, but anything the evaluators still
+   raise must become an error response, never a daemon crash. *)
+let guarded op f =
+  try f () with
+  | Invalid_argument msg | Failure msg -> Request.error_response (op ^ ": " ^ msg)
+  | Stack_overflow | Out_of_memory -> Request.error_response (op ^ ": request too large")
+  | e -> Request.error_response (op ^ ": " ^ Printexc.to_string e)
+
 let serve_fd ?(config = default_config) store ~input ~output =
+  Lazy.force ignore_sigpipe;
   let lr = Line_reader.create input in
   let respond line = write_all output (line ^ "\n") in
   let ml_config = { Mutation_log.fallback_fraction = config.fallback_fraction } in
   let timed_read epoch req () =
+    let op = Request.op_name req in
     let t0 = now_ns () in
-    let resp = Request.handle_read ~epoch req in
-    (resp, Request.op_name req, now_ns () - t0)
+    let resp = guarded op (fun () -> Request.handle_read ~epoch req) in
+    (resp, op, now_ns () - t0)
   in
   (* Evaluate a batch of read requests against one pinned epoch.  The
      requests are independent and the epoch is frozen, so fanning out on
@@ -131,7 +178,7 @@ let serve_fd ?(config = default_config) store ~input ~output =
   let mutate ops =
     Obs.Counter.incr c_requests;
     let t0 = now_ns () in
-    let resp = Request.handle_mutate ~store ~config:ml_config ops in
+    let resp = guarded "mutate" (fun () -> Request.handle_mutate ~store ~config:ml_config ops) in
     Obs.Histogram.observe (hist_for "mutate") (max 0 (now_ns () - t0));
     respond resp
   in
@@ -171,19 +218,27 @@ let serve_fd ?(config = default_config) store ~input ~output =
       flush_reads (List.rev !batch);
       (match !barrier with None -> loop () | Some parsed -> dispatch parsed)
   in
-  loop ()
+  try loop () with Client_gone -> Eof
 
 let serve_stdin ?config store = serve_fd ?config store ~input:Unix.stdin ~output:Unix.stdout
 
 let accept_loop ?config store listen_fd =
+  Lazy.force ignore_sigpipe;
   let rec go () =
-    let conn, _ = Unix.accept listen_fd in
-    let stop =
-      Fun.protect
-        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
-        (fun () -> serve_fd ?config store ~input:conn ~output:conn)
-    in
-    match stop with Eof -> go () | Shutdown_requested -> ()
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | conn, _ ->
+      let stop =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+          (fun () ->
+            (* One broken connection must not stop the daemon accepting. *)
+            try serve_fd ?config store ~input:conn ~output:conn
+            with e ->
+              Printf.eprintf "[serve] connection error: %s\n%!" (Printexc.to_string e);
+              Eof)
+      in
+      (match stop with Eof -> go () | Shutdown_requested -> ())
   in
   go ()
 

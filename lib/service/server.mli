@@ -10,7 +10,14 @@
 
     Per-request latency feeds the [request_duration_ns{op=...}] histogram
     family (one histogram per op, labelled in the OpenMetrics exposition)
-    plus the [service.requests] / [service.read_batches] counters. *)
+    plus the [service.requests] / [service.read_batches] counters.
+
+    The server is hardened against untrusted clients: request evaluation
+    runs behind an exception barrier that turns any raise into an inline
+    [{"error":...}] response, SIGPIPE is ignored so a client closing its
+    connection mid-response surfaces as EPIPE, and EPIPE/ECONNRESET on
+    either direction end that connection ([Eof]) without killing the
+    daemon — {!listen_unix}/{!listen_tcp} keep accepting. *)
 
 type config = {
   fallback_fraction : float;

@@ -211,7 +211,15 @@ let test_parse_errors () =
   err "not json";
   err {|{"op":"frobnicate"}|};
   err {|{"op":"mutate","ops":[["upsert",1,2]]}|};
-  err {|[1,2,3]|}
+  err {|[1,2,3]|};
+  (* well-formed JSON with out-of-range values must be rejected at parse
+     time, not crash an evaluator *)
+  err {|{"op":"maximize","k":2,"budget":5}|};
+  err {|{"op":"maximize","k":5,"budget":-1}|};
+  err {|{"op":"maximize","k":5,"budget":5,"g_probes":0}|};
+  err {|{"op":"truss-query","k":-1}|};
+  err {|{"op":"truss-query","k":4,"limit":-3}|};
+  err {|{"op":"onion","k":4,"limit":-1}|}
 
 (* --- end-to-end over a pipe ----------------------------------------------- *)
 
@@ -280,6 +288,47 @@ let test_server_eof_and_errors () =
   Alcotest.(check bool) "parse error reported inline" true
     (Helpers.contains (List.nth responses 0) "error")
 
+let test_server_rejects_out_of_range () =
+  (* Out-of-range values in well-formed requests come back as inline
+     errors; the daemon keeps serving the rest of the script. *)
+  let script =
+    [
+      {|{"op":"maximize","k":5,"budget":5,"g_probes":0}|};
+      {|{"op":"maximize","k":2,"budget":5}|};
+      {|{"op":"truss-query","k":4,"limit":-1}|};
+      {|{"op":"stats"}|};
+      {|{"op":"shutdown"}|};
+    ]
+  in
+  let stop, responses = serve_script (store_of (Helpers.triangle ())) script in
+  Alcotest.(check bool) "still reached shutdown" true (stop = Service.Server.Shutdown_requested);
+  Alcotest.(check int) "every line answered" (List.length script) (List.length responses);
+  List.iteri
+    (fun i r ->
+      if i < 3 then
+        Alcotest.(check bool) (Printf.sprintf "response %d is an error" i) true
+          (Helpers.contains r "error"))
+    responses;
+  Alcotest.(check bool) "stats still served after errors" true
+    (Helpers.contains (List.nth responses 3) {|"op":"stats"|})
+
+let test_server_burst_and_long_lines () =
+  (* Exercise the line reader's compaction and growth paths: a pipelined
+     burst of many small requests plus one request line larger than the
+     reader's initial 4 KiB buffer. *)
+  let long_line =
+    let pairs = List.init 1000 (fun i -> Printf.sprintf "[%d,%d]" i (i + 1)) in
+    Printf.sprintf {|{"op":"trussness","edges":[%s]}|} (String.concat "," pairs)
+  in
+  let script =
+    List.init 100 (fun _ -> {|{"op":"stats"}|}) @ [ long_line; {|{"op":"shutdown"}|} ]
+  in
+  let stop, responses = serve_script (store_of (Helpers.triangle ())) script in
+  Alcotest.(check bool) "stopped on shutdown" true (stop = Service.Server.Shutdown_requested);
+  Alcotest.(check int) "one response per request" (List.length script) (List.length responses);
+  Alcotest.(check bool) "long trussness line answered" true
+    (Helpers.contains (List.nth responses 100) {|"op":"trussness"|})
+
 let test_server_deterministic_across_domains () =
   (* The same script against identical stores must produce byte-identical
      transcripts whether read batches run inline or on a 4-domain pool. *)
@@ -316,6 +365,8 @@ let suite =
     Alcotest.test_case "parse: invalid requests" `Quick test_parse_errors;
     Alcotest.test_case "server round trip" `Quick test_server_round_trip;
     Alcotest.test_case "server eof + parse errors" `Quick test_server_eof_and_errors;
+    Alcotest.test_case "server rejects out-of-range values" `Quick test_server_rejects_out_of_range;
+    Alcotest.test_case "server burst + long lines" `Quick test_server_burst_and_long_lines;
     Alcotest.test_case "server deterministic at 1 vs 4 domains" `Quick
       test_server_deterministic_across_domains;
     Alcotest.test_case "maximize copies the graph" `Quick test_maximize_leaves_epoch_intact;
