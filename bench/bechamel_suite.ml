@@ -251,7 +251,7 @@ let test_serve_replay =
          let epoch = Service.Store.current store in
          let read req = ignore (Service.Request.handle_read ~epoch req) in
          read Service.Request.Decompose;
-         read Service.Request.Stats;
+         read (Service.Request.Stats { detail = false });
          read (Service.Request.Truss_query { k; limit = Some 50 });
          read (Service.Request.Onion { k; limit = Some 20 });
          read (Service.Request.Trussness [ (0, 1); (1, 2); (2, 3) ]);

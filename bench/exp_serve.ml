@@ -19,7 +19,7 @@ let quantile_us hdr q = float_of_int (Hdr.quantile hdr q) /. 1e3
 let oracle_requests ~kd ~sample_edges =
   [
     Service.Request.Decompose;
-    Service.Request.Stats;
+    Service.Request.Stats { detail = false };
     Service.Request.Truss_query { k = kd; limit = Some 200 };
     Service.Request.Truss_query { k = 3; limit = Some 50 };
     Service.Request.Onion { k = kd; limit = Some 100 };
@@ -42,27 +42,45 @@ let run () =
   let rounds = Exp_common.pick ~quick:12 ~full:50 in
   let queries_per_round = 10 in
   let read_hdr = Hdr.create () in
+  let queue_hdr = Hdr.create () in
+  let exec_hdr = Hdr.create () in
   let mutate_hdr = Hdr.create () in
-  let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9)) in
+  let now_ns = Service.Telemetry.now_ns in
   let total_queries = ref 0 in
   let total_read_ns = ref 0 in
   let region_edges = ref 0 in
   let verified = ref 0 in
-  let timed_read epoch req =
-    let t0 = now_ns () in
-    let resp = Service.Request.handle_read ~epoch req in
-    let dt = max 0 (now_ns () - t0) in
-    Hdr.observe read_hdr dt;
-    incr total_queries;
-    total_read_ns := !total_read_ns + dt;
-    resp
+  (* Each round's query list models one pipelined batch: every request
+     "arrives" together at [t_arr], then runs in order — so request i's
+     queue-wait is the time its predecessors spent executing, exactly the
+     split the server's Telemetry funnel reports for a flushed batch. *)
+  let run_batch epoch reqs =
+    let n = List.length reqs in
+    let t_arr = now_ns () in
+    let gen = Service.Epoch.generation epoch in
+    List.iteri
+      (fun pos req ->
+        let t0 = now_ns () in
+        let resp = Service.Request.handle_read ~epoch req in
+        let t1 = now_ns () in
+        let queue = max 0 (t0 - t_arr) and exec = max 0 (t1 - t0) in
+        Hdr.observe read_hdr exec;
+        Hdr.observe queue_hdr queue;
+        Hdr.observe exec_hdr exec;
+        Service.Telemetry.record ~op:(Service.Request.op_name req) ~id:None ~gen
+          ~epoch_age:0 ~queue_ns:queue ~exec_ns:exec ~batch_size:n ~batch_pos:pos
+          ~ok:true;
+        incr total_queries;
+        total_read_ns := !total_read_ns + exec;
+        ignore resp)
+      reqs
   in
   let round_queries epoch =
     let kq () = 3 + Graphcore.Rng.int rng (max 1 (Service.Epoch.kmax epoch - 2)) in
     let pairs n = List.init n (fun _ -> (rand_node (), rand_node ())) in
     [
       Service.Request.Decompose;
-      Service.Request.Stats;
+      Service.Request.Stats { detail = false };
       Service.Request.Trussness (pairs 8);
       Service.Request.Trussness (pairs 8);
       Service.Request.Trussness (pairs 8);
@@ -109,7 +127,7 @@ let run () =
   in
   for _round = 1 to rounds do
     let epoch = Service.Store.current store in
-    List.iter (fun req -> ignore (timed_read epoch req)) (round_queries epoch);
+    run_batch epoch (round_queries epoch);
     let t0 = now_ns () in
     let outcome =
       Service.Mutation_log.apply store (mutation_batch epoch)
@@ -134,6 +152,9 @@ let run () =
     (Service.Epoch.kmax final) !region_edges;
   Exp_common.row "read latency: p50 %.1fus  p90 %.1fus  p99 %.1fus  (sustained %.0f qps)\n"
     (quantile_us read_hdr 0.50) (quantile_us read_hdr 0.90) (quantile_us read_hdr 0.99) qps;
+  Exp_common.row "dispatch split: queue-wait p50 %.1fus p99 %.1fus  exec p50 %.1fus p99 %.1fus\n"
+    (quantile_us queue_hdr 0.50) (quantile_us queue_hdr 0.99)
+    (quantile_us exec_hdr 0.50) (quantile_us exec_hdr 0.99);
   Exp_common.row "mutation batches: p50 %.2fms  p99 %.2fms  (fallbacks: %d)\n"
     (quantile_us mutate_hdr 0.50 /. 1e3)
     (quantile_us mutate_hdr 0.99 /. 1e3)
@@ -141,4 +162,8 @@ let run () =
   Exp_common.row "oracle: %d canonical responses byte-identical to full recompute\n" !verified;
   Exp_common.add_scalar "serve/replay_qps" qps;
   Exp_common.add_scalar "serve/replay_read_p99_us" (quantile_us read_hdr 0.99);
-  Exp_common.add_scalar "serve/replay_mutate_p99_us" (quantile_us mutate_hdr 0.99)
+  Exp_common.add_scalar "serve/replay_mutate_p99_us" (quantile_us mutate_hdr 0.99);
+  Exp_common.add_scalar "serve/replay_queue_wait_p50_us" (quantile_us queue_hdr 0.50);
+  Exp_common.add_scalar "serve/replay_queue_wait_p99_us" (quantile_us queue_hdr 0.99);
+  Exp_common.add_scalar "serve/replay_exec_p50_us" (quantile_us exec_hdr 0.50);
+  Exp_common.add_scalar "serve/replay_exec_p99_us" (quantile_us exec_hdr 0.99)

@@ -90,7 +90,8 @@ let openmetrics_out =
 let flight_record_arg =
   let doc =
     "Keep a ring of the last $(docv) completed spans and dump them as Chrome-trace JSON \
-     at exit or on SIGTERM/SIGINT — a post-mortem tail for hung or killed runs. \
+     at exit or on SIGTERM/SIGINT — a post-mortem tail for hung or killed runs.  SIGUSR1 \
+     dumps without terminating (live inspection). \
      Default: $(b,MAXTRUSS_FLIGHT_RECORD) or off."
   in
   Arg.(value & opt int 0 & info [ "flight-record" ] ~docv:"N" ~doc)

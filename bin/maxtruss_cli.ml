@@ -401,6 +401,34 @@ let obsdiff_cmd =
           self-time, delta allocation, delta counters)")
     Term.(const run $ fuzzy_flag $ file_a $ file_b)
 
+(* lint-openmetrics: shape-check a saved exposition — the CI hook for
+   validating a live scrape taken from a running maxtruss-serve. *)
+let lint_openmetrics_cmd =
+  let file =
+    let doc = "OpenMetrics/Prometheus text exposition to check." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let no_bucket_flag =
+    let doc = "Do not require a histogram _bucket series (for counter-only expositions)." in
+    Arg.(value & flag & info [ "no-require-bucket" ] ~doc)
+  in
+  let run no_bucket file =
+    let text = In_channel.with_open_bin file In_channel.input_all in
+    match Obs.lint_openmetrics ~require_bucket:(not no_bucket) text with
+    | Ok lines ->
+      Printf.printf "[lint-openmetrics] %s ok: %d lines\n" file lines;
+      0
+    | Error e ->
+      Printf.eprintf "[lint-openmetrics] %s: %s\n" file e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "lint-openmetrics"
+       ~doc:
+         "Shape-check an OpenMetrics text exposition (one TYPE line per family, sample \
+          lines well-formed, # EOF terminator, at least one histogram bucket)")
+    Term.(const run $ no_bucket_flag $ file)
+
 let () =
   let info =
     Cmd.info "maxtruss" ~version:"1.0.0"
@@ -409,4 +437,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ datasets_cmd; gen_cmd; stats_cmd; decompose_cmd; maximize_cmd; obsdiff_cmd ]))
+          [
+            datasets_cmd;
+            gen_cmd;
+            stats_cmd;
+            decompose_cmd;
+            maximize_cmd;
+            obsdiff_cmd;
+            lint_openmetrics_cmd;
+          ]))

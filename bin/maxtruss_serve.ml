@@ -50,9 +50,41 @@ let assert_openmetrics_flag =
   in
   Arg.(value & flag & info [ "assert-openmetrics" ] ~doc)
 
+let event_log_arg =
+  let doc =
+    "Write one structured JSONL event per served request (op, trace id, epoch generation, \
+     queue-wait/exec split, batch position) to $(docv); see METRICS_SCHEMA.md."
+  in
+  Arg.(value & opt (some string) None & info [ "event-log" ] ~docv:"FILE" ~doc)
+
+let event_sample_arg =
+  let doc = "Keep 1-in-$(docv) events in --event-log (deterministic under --event-seed)." in
+  Arg.(value & opt int 1 & info [ "event-sample" ] ~docv:"N" ~doc)
+
+let event_seed_arg =
+  let doc = "Seed for --event-sample's sampling stream." in
+  Arg.(value & opt (some int) None & info [ "event-seed" ] ~docv:"SEED" ~doc)
+
+let slow_ns_arg =
+  let doc =
+    "Requests whose execution takes at least $(docv) nanoseconds are always written to \
+     --event-log (marked \"slow\":true), regardless of sampling.  0 disables the override."
+  in
+  Arg.(value & opt int 0 & info [ "slow-ns" ] ~docv:"NS" ~doc)
+
+let metrics_socket_arg =
+  let doc =
+    "Serve the live OpenMetrics exposition over minimal HTTP on a second Unix-domain \
+     socket at $(docv) (GET /metrics; try curl --unix-socket $(docv) \
+     http://localhost/metrics).  Implies collection on; the socket file is removed on \
+     exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-socket" ] ~docv:"PATH" ~doc)
+
 let serve_cmd =
   let run input dataset domains stdin_mode socket tcp host fallback_fraction max_batch stats
-      metrics trace openmetrics assert_om flight_record flight_dump =
+      metrics trace openmetrics assert_om flight_record flight_dump event_log event_sample
+      event_seed slow_ns metrics_socket =
     match load_graph input dataset with
     | Error e ->
       Printf.eprintf "%s\n" e;
@@ -74,24 +106,50 @@ let serve_cmd =
         Printf.eprintf "[serve] epoch 0: %d nodes, %d edges, kmax %d\n%!"
           (Service.Epoch.num_nodes epoch) (Service.Epoch.num_edges epoch)
           (Service.Epoch.kmax epoch);
+        (match event_log with
+        | None -> ()
+        | Some path ->
+          Obs.Events.configure ~sample_every:event_sample ?seed:event_seed ~slow_ns path;
+          Printf.eprintf "[serve] event log: %s (sample 1/%d, slow-ns %d)\n%!" path
+            (max 1 event_sample) (max 0 slow_ns));
+        let metrics_fd =
+          match metrics_socket with
+          | None -> None
+          | Some path ->
+            (* The exposition is empty without collection on. *)
+            Obs.set_enabled true;
+            let fd = Service.Metrics_endpoint.bind_unix ~path in
+            Printf.eprintf "[serve] metrics scrape on unix socket %s\n%!" path;
+            Some fd
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Events.close ();
+            match (metrics_fd, metrics_socket) with
+            | Some fd, Some path -> Service.Metrics_endpoint.close_unix ~path fd
+            | _ -> ())
+        @@ fun () ->
         (match (socket, tcp) with
         | Some path, None ->
           Printf.eprintf "[serve] listening on unix socket %s\n%!" path;
-          Service.Server.listen_unix ~config ~path store
+          Service.Server.listen_unix ~config ?metrics:metrics_fd ~path store
         | None, Some port ->
           Printf.eprintf "[serve] listening on tcp port %d\n%!" port;
-          Service.Server.listen_tcp ~config ~host ~port store
+          Service.Server.listen_tcp ~config ?metrics:metrics_fd ~host ~port store
         | Some _, Some _ ->
           Printf.eprintf "pass either --socket or --tcp, not both\n";
           exit 1
         | None, None ->
           ignore stdin_mode;
-          ignore (Service.Server.serve_stdin ~config store));
+          ignore (Service.Server.serve_stdin ~config ?metrics:metrics_fd store));
         let final = Service.Store.current store in
         Printf.eprintf "[serve] done at generation %d: %d edges, kmax %d, %d fallbacks\n%!"
           (Service.Epoch.generation final) (Service.Epoch.num_edges final)
           (Service.Epoch.kmax final)
           (Service.Mutation_log.fallback_count ());
+        if Obs.Events.active () then
+          Printf.eprintf "[serve] event log: %d/%d events written\n%!" (Obs.Events.written ())
+            (Obs.Events.seen ());
         let ok = ref (export_obs ~stats ~metrics ~trace ~openmetrics) in
         if assert_om then begin
           match Obs.lint_openmetrics (Obs.openmetrics ()) with
@@ -111,6 +169,7 @@ let serve_cmd =
     Term.(
       const run $ input $ dataset_opt $ domains_arg $ stdin_flag $ socket_arg $ tcp_arg
       $ host_arg $ fallback_arg $ max_batch_arg $ stats_flag $ metrics_out $ trace_out
-      $ openmetrics_out $ assert_openmetrics_flag $ flight_record_arg $ flight_dump_arg)
+      $ openmetrics_out $ assert_openmetrics_flag $ flight_record_arg $ flight_dump_arg
+      $ event_log_arg $ event_sample_arg $ event_seed_arg $ slow_ns_arg $ metrics_socket_arg)
 
 let () = exit (Cmd.eval' serve_cmd)

@@ -217,7 +217,9 @@ module Gauge = struct
       Atomic.set g.g_value v
     end
 
-  let set_int g v = set g (float_of_int v)
+  (* Guard before converting: [float_of_int] boxes, and the disabled path
+     must stay allocation-free. *)
+  let set_int g v = if Atomic.get enabled_flag then set g (float_of_int v)
 
   let value g =
     if Atomic.get g.g_gen = Atomic.get generation then Atomic.get g.g_value else 0.
@@ -451,8 +453,11 @@ module Flight_recorder = struct
      the signal handlers cover SIGTERM/SIGINT/SIGQUIT — after dumping they
      restore the default disposition and re-deliver, so the process still
      dies with the conventional signal status and [at_exit] does not run a
-     second dump.  Installed once per process, only on explicit request
-     (never as a side effect of enabling the obs layer). *)
+     second dump.  SIGUSR1 is different in kind: it is the live-inspection
+     hook — dump and keep running — so an operator can look at a serving
+     daemon's span tail without killing it.  Installed once per process,
+     only on explicit request (never as a side effect of enabling the obs
+     layer). *)
   let install_crash_hooks () =
     if not !hooks_installed then begin
       hooks_installed := true;
@@ -466,8 +471,149 @@ module Flight_recorder = struct
         (fun s ->
           try Sys.set_signal s (Sys.Signal_handle (on_signal s))
           with Invalid_argument _ | Sys_error _ -> ())
-        [ Sys.sigterm; Sys.sigint; Sys.sigquit ]
+        [ Sys.sigterm; Sys.sigint; Sys.sigquit ];
+      try Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_if_configured ()))
+      with Invalid_argument _ | Sys_error _ -> ()
     end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Wide-event log                                                     *)
+
+module Events = struct
+  (* One structured JSONL line per served request, written to a file the
+     daemon opens at startup.  Complements the aggregated registry: the
+     histograms answer "what is p99", the event log answers "which request
+     was slow, against which epoch, at which batch position".
+
+     Sampling keeps the log bounded under load: a per-domain xorshift
+     stream (seeded, so replays are deterministic) keeps 1-in-N events,
+     and a slow-exec threshold overrides sampling so tail latency is never
+     sampled away.  Like [Hdr] shards, each domain owns its own RNG cell —
+     growth of the shard list is mutex-protected, the draw itself is
+     single-writer — and line writes are serialized (one [output_string] +
+     flush per line, so a killed process leaves whole lines).
+
+     Overhead contract: while no sink is configured, [emit_request] costs
+     one ref load and allocates nothing — same bar as the disabled obs
+     fast path, enforced by the same zero-alloc test. *)
+
+  type sink = {
+    oc : out_channel;
+    sample_every : int;
+    slow_ns : int;
+    seed : int;
+    write_mutex : Mutex.t;
+    rng_mutex : Mutex.t;
+    mutable rngs : (int * int ref) list;  (* domain id -> xorshift state *)
+  }
+
+  let sink : sink option ref = ref None
+
+  let seen_ctr = Atomic.make 0
+
+  let written_ctr = Atomic.make 0
+
+  let active () = match !sink with None -> false | Some _ -> true
+
+  let seen () = Atomic.get seen_ctr
+
+  let written () = Atomic.get written_ctr
+
+  let default_seed = 0x6d617874727573  (* arbitrary; only determinism matters *)
+
+  let close () =
+    match !sink with
+    | None -> ()
+    | Some s -> (
+      sink := None;
+      try
+        flush s.oc;
+        close_out s.oc
+      with Sys_error _ -> ())
+
+  let configure ?(sample_every = 1) ?(seed = default_seed) ?(slow_ns = 0) path =
+    close ();
+    let oc = open_out path in
+    Atomic.set seen_ctr 0;
+    Atomic.set written_ctr 0;
+    let s =
+      {
+        oc;
+        sample_every = max 1 sample_every;
+        slow_ns = max 0 slow_ns;
+        seed;
+        write_mutex = Mutex.create ();
+        rng_mutex = Mutex.create ();
+        rngs = [];
+      }
+    in
+    (* Self-describing header so a bare .jsonl file identifies its schema
+       and the sampling regime its gaps should be read under. *)
+    output_string oc
+      (Printf.sprintf
+         "{\"event\":\"start\",\"schema\":\"maxtruss-serve-events\",\"version\":1,\"sample_every\":%d,\"slow_ns\":%d}\n"
+         s.sample_every s.slow_ns);
+    flush oc;
+    sink := Some s
+
+  (* Per-domain xorshift state, decorrelated across domains by folding the
+     domain id into the seed; never zero (xorshift's absorbing state). *)
+  let rng_for s =
+    let d = (Domain.self () :> int) in
+    let rec find = function
+      | [] -> None
+      | (d', r) :: rest -> if d' = d then Some r else find rest
+    in
+    match find s.rngs with
+    | Some r -> r
+    | None ->
+      Mutex.lock s.rng_mutex;
+      let r =
+        match find s.rngs with
+        | Some r -> r
+        | None ->
+          let st = s.seed lxor ((d + 1) * 0x1e3779b97f4a7c15) in
+          let r = ref (if st = 0 then 1 else st land max_int) in
+          s.rngs <- (d, r) :: s.rngs;
+          r
+      in
+      Mutex.unlock s.rng_mutex;
+      r
+
+  let draw s =
+    let r = rng_for s in
+    let x = !r in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    let x = if x = 0 then 1 else x in
+    r := x;
+    x land max_int
+
+  let emit_request ~op ~id ~gen ~epoch_age ~queue_ns ~exec_ns ~batch_size ~batch_pos ~ok =
+    match !sink with
+    | None -> ()
+    | Some s ->
+      Atomic.incr seen_ctr;
+      let slow = s.slow_ns > 0 && exec_ns >= s.slow_ns in
+      let sampled = s.sample_every = 1 || draw s mod s.sample_every = 0 in
+      if sampled || slow then begin
+        let b = Buffer.create 192 in
+        Printf.bprintf b "{\"event\":\"request\",\"ts_ns\":%.0f,\"op\":\"%s\""
+          (now () *. 1e9) (json_escape op);
+        (match id with None -> () | Some v -> Printf.bprintf b ",\"id\":%s" v);
+        Printf.bprintf b
+          ",\"gen\":%d,\"epoch_age\":%d,\"queue_ns\":%d,\"exec_ns\":%d,\"batch_size\":%d,\"batch_pos\":%d,\"ok\":%b,\"slow\":%b}\n"
+          gen epoch_age queue_ns exec_ns batch_size batch_pos ok slow;
+        Mutex.lock s.write_mutex;
+        (try
+           output_string s.oc (Buffer.contents b);
+           flush s.oc
+         with Sys_error _ -> ());
+        Mutex.unlock s.write_mutex;
+        Atomic.incr written_ctr
+      end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -204,8 +204,61 @@ module Flight_recorder : sig
   val install_crash_hooks : unit -> unit
   (** Install the [at_exit] hook and SIGTERM/SIGINT/SIGQUIT handlers that
       dump to {!set_dump_path} (signal handlers re-deliver the signal with
-      default disposition after dumping, so exit status is preserved).
+      default disposition after dumping, so exit status is preserved), plus
+      a SIGUSR1 handler that dumps {e without} terminating — the
+      live-inspection hook for a running daemon ([kill -USR1 <pid>]).
       Idempotent; never installed implicitly. *)
+end
+
+module Events : sig
+  (** Wide-event JSONL log: one structured line per served request,
+      written to a file configured at startup ([maxtruss-serve
+      --event-log]).  Complements the aggregated registry — histograms
+      answer "what is p99", the event log answers "which request was slow,
+      against which epoch generation, at which batch position".
+
+      Sampling keeps the log bounded: a seeded per-domain xorshift stream
+      (deterministic under a fixed seed, one single-writer RNG cell per
+      domain like {!Hdr} shards) keeps 1-in-[sample_every] events, and the
+      [slow_ns] threshold forces emission of any request whose execution
+      met it, regardless of sampling.  Line writes are serialized and
+      flushed individually, so a killed process leaves whole lines.
+
+      Overhead contract: with no sink configured, {!emit_request} costs a
+      single ref load and allocates nothing (covered by the disabled-mode
+      zero-alloc test). *)
+
+  val configure : ?sample_every:int -> ?seed:int -> ?slow_ns:int -> string -> unit
+  (** Open (truncating) a JSONL sink at the given path and write a
+      self-describing [{"event":"start",...}] header line.  [sample_every]
+      defaults to 1 (every event), [slow_ns] to 0 (no override).  Closes
+      any previous sink first. *)
+
+  val close : unit -> unit
+  (** Flush and close the sink; further emits are no-ops. *)
+
+  val active : unit -> bool
+
+  val seen : unit -> int
+  (** Events offered since {!configure} (sampled or not). *)
+
+  val written : unit -> int
+  (** Lines actually written (excluding the header). *)
+
+  val emit_request :
+    op:string ->
+    id:string option ->
+    gen:int ->
+    epoch_age:int ->
+    queue_ns:int ->
+    exec_ns:int ->
+    batch_size:int ->
+    batch_pos:int ->
+    ok:bool ->
+    unit
+  (** Offer one request event.  [id], when present, must be a rendered
+      JSON literal (e.g. ["\"abc\""] or ["7"]) and is embedded verbatim.
+      Safe from any domain. *)
 end
 
 (** {2 Introspection (used by the exporters and the test suite)} *)

@@ -1,0 +1,112 @@
+(* On-demand /metrics scrape for the running daemon: a second listening
+   socket whose connections are answered with the live Obs.openmetrics
+   exposition over minimal HTTP/1.0.
+
+   No thread and no extra domain: the server loop selects on this
+   listener alongside its connection fd whenever it would block waiting
+   for the next request line, so scrapes are served between requests on
+   the owner domain — the only domain allowed to render the exposition
+   (the span-path tables are owner-only).  A scrape arriving mid-batch
+   waits until the batch flushes; scrape freshness is bounded by request
+   latency, which is what a scraper of a single-threaded daemon should
+   expect. *)
+
+let bind_unix ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 8
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let close_unix ~path fd =
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* Scrape clients are operator tooling, but still untrusted enough that a
+   stalled or rude one must not wedge the daemon: reads are bounded by a
+   deadline and a size cap, and EPIPE on the response is swallowed. *)
+let read_deadline_s = 2.0
+
+let max_request_bytes = 4096
+
+let send fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
+(* First request line (through '\n'), or None on timeout/overflow/EOF. *)
+let read_request_line fd =
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 512 in
+  let deadline = Unix.gettimeofday () +. read_deadline_s in
+  let rec go () =
+    if Buffer.length buf > max_request_bytes then None
+    else
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0. then None
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | [], _, _ -> None
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> None
+          | 0 -> None
+          | n -> (
+            Buffer.add_subbytes buf chunk 0 n;
+            let s = Buffer.contents buf in
+            match String.index_opt s '\n' with
+            | Some i -> Some (String.trim (String.sub s 0 i))
+            | None -> go ()))
+  in
+  go ()
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let openmetrics_content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+let handle conn =
+  match read_request_line conn with
+  | None -> send conn (http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n")
+  | Some line -> (
+    match String.split_on_char ' ' line with
+    | "GET" :: path :: _ when path = "/metrics" || path = "/metrics/" ->
+      send conn
+        (http_response ~status:"200 OK" ~content_type:openmetrics_content_type (Obs.openmetrics ()))
+    | "GET" :: _ -> send conn (http_response ~status:"404 Not Found" ~content_type:"text/plain" "not found\n")
+    | _ -> send conn (http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"))
+
+let rec serve_ready listen_fd =
+  match Unix.select [ listen_fd ] [] [] 0.0 with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve_ready listen_fd
+  | [], _, _ -> ()
+  | _ -> (
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error _ -> ()
+    | conn, _ ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+        (fun () -> handle conn);
+      serve_ready listen_fd)
+
+let rec wait_input ~input ~metrics =
+  match Unix.select [ input; metrics ] [] [] (-1.) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_input ~input ~metrics
+  | ready, _, _ ->
+    (* Serve pending scrapes first: they are cheap, and a scrape that
+       raced a request burst should still see the pre-burst registry. *)
+    if List.memq metrics ready then serve_ready metrics;
+    if not (List.memq input ready) then wait_input ~input ~metrics

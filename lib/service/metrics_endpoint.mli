@@ -1,0 +1,28 @@
+(** Live [/metrics] scrape endpoint for the serving daemon: a second
+    Unix-domain listener answered with the current {!Obs.openmetrics}
+    exposition over minimal HTTP/1.0 ([GET /metrics] → 200, other paths →
+    404, anything else → 400; [curl --unix-socket PATH
+    http://localhost/metrics] works).
+
+    No thread and no extra domain: the server loop calls {!wait_input}
+    wherever it would otherwise block reading the next request line, so
+    scrapes are served between requests on the owner domain — the only
+    domain allowed to render the exposition.  A scrape arriving while a
+    batch is executing waits until the batch flushes. *)
+
+val bind_unix : path:string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket at [path] (replacing any
+    stale socket file).  Raises [Unix.Unix_error] on failure. *)
+
+val close_unix : path:string -> Unix.file_descr -> unit
+(** Close the listener and remove the socket file; never raises. *)
+
+val serve_ready : Unix.file_descr -> unit
+(** Accept and answer every connection currently pending on the listener,
+    without blocking when there are none.  Reads are bounded by a 2 s
+    deadline and a 4 KiB cap so a stalled scraper cannot wedge the
+    daemon. *)
+
+val wait_input : input:Unix.file_descr -> metrics:Unix.file_descr -> unit
+(** Block until [input] is readable, serving any scrape connection that
+    arrives on [metrics] while waiting. *)

@@ -9,7 +9,7 @@ type t =
   | Onion of { k : int; limit : int option }
   | Maximize of { k : int; budget : int; algo : algo; seed : int; g_probes : int option }
   | Mutate of Mutation_log.op list
-  | Stats
+  | Stats of { detail : bool }
   | Shutdown
 
 let op_name = function
@@ -19,11 +19,11 @@ let op_name = function
   | Onion _ -> "onion"
   | Maximize _ -> "maximize"
   | Mutate _ -> "mutate"
-  | Stats -> "stats"
+  | Stats _ -> "stats"
   | Shutdown -> "shutdown"
 
 let is_read = function
-  | Decompose | Trussness _ | Truss_query _ | Onion _ | Maximize _ | Stats -> true
+  | Decompose | Trussness _ | Truss_query _ | Onion _ | Maximize _ | Stats _ -> true
   | Mutate _ | Shutdown -> false
 
 (* {2 Parsing} *)
@@ -91,10 +91,8 @@ let parse_mutation_ops json =
       in
       go [] items)
 
-let parse line =
-  match Json_min.parse line with
-  | Error e -> Error ("invalid json: " ^ e)
-  | Ok json -> (
+let of_json json =
+  (
     match Option.bind (Json_min.member "op" json) Json_min.to_str with
     | None -> Error "missing field \"op\""
     | Some "decompose" -> Ok Decompose
@@ -143,9 +141,50 @@ let parse line =
     | Some "mutate" ->
       let* ops = parse_mutation_ops json in
       Ok (Mutate ops)
-    | Some "stats" -> Ok Stats
+    | Some "stats" ->
+      let* detail =
+        match Json_min.member "detail" json with
+        | None -> Ok false
+        | Some (Json_min.Bool b) -> Ok b
+        | Some _ -> Error "field \"detail\" must be a boolean"
+      in
+      Ok (Stats { detail })
     | Some "shutdown" -> Ok Shutdown
     | Some other -> Error (Printf.sprintf "unknown op %S" other))
+
+let parse line =
+  match Json_min.parse line with
+  | Error e -> Error ("invalid json: " ^ e)
+  | Ok json -> of_json json
+
+(* The trace id is echoed, never generated: a request without an ["id"]
+   field produces byte-identical responses to the untraced protocol (the
+   serve-smoke golden depends on that).  Strings and integers are
+   re-rendered as JSON literals; other shapes are ignored. *)
+let render_id v =
+  match v with
+  | Json_min.Str s -> Some ("\"" ^ Json_min.escape s ^ "\"")
+  | Json_min.Num f when Float.is_integer f && Float.abs f < 1e15 -> Some (Printf.sprintf "%.0f" f)
+  | _ -> None
+
+let parse_traced line =
+  match Json_min.parse line with
+  | Error e -> (Error ("invalid json: " ^ e), None)
+  | Ok json -> (of_json json, Option.bind (Json_min.member "id" json) render_id)
+
+(* Every response line is a JSON object, so echoing the id is a splice
+   right after the opening brace — responses without an id keep their
+   exact historical bytes. *)
+let with_id id resp =
+  match id with
+  | None -> resp
+  | Some v ->
+    let b = Buffer.create (String.length resp + String.length v + 8) in
+    Buffer.add_string b "{\"id\":";
+    Buffer.add_string b v;
+    Buffer.add_char b ',';
+    Buffer.add_substring b resp 1 (String.length resp - 1);
+    Buffer.contents b
 
 (* {2 Responses} *)
 
@@ -236,12 +275,22 @@ let handle_read ~epoch req =
          res.Maxtruss.Pcfr.outcome.Maxtruss.Outcome.score);
     buf_pairs b inserted;
     Buffer.add_char b '}'
-  | Stats ->
+  | Stats { detail } ->
     header "stats";
     Buffer.add_string b
-      (Printf.sprintf ",\"nodes\":%d,\"edges\":%d,\"kmax\":%d,\"maintain_fallbacks\":%d}"
+      (Printf.sprintf ",\"nodes\":%d,\"edges\":%d,\"kmax\":%d,\"maintain_fallbacks\":%d"
          (Epoch.num_nodes epoch) (Epoch.num_edges epoch) (Epoch.kmax epoch)
-         (Mutation_log.fallback_count ()))
+         (Mutation_log.fallback_count ()));
+    (* Detail mode reports the live telemetry registry (Obs counters and
+       per-op latency quantiles) next to the plain-Atomic mirror above.
+       Deliberately opt-in: quantiles are wall-clock-dependent, and the
+       default stats response must stay a deterministic function of the
+       epoch (the serve-smoke golden runs with collection enabled). *)
+    if detail then begin
+      Buffer.add_string b ",\"obs\":";
+      Buffer.add_string b (Telemetry.stats_obs_json ())
+    end;
+    Buffer.add_char b '}'
   | Mutate _ | Shutdown -> invalid_arg "Request.handle_read: not a read request");
   Buffer.contents b
 

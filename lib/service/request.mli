@@ -5,12 +5,22 @@
     [{"op":"truss-query","k":K,"limit":N?}], [{"op":"onion","k":K,"limit":N?}],
     [{"op":"maximize","k":K,"budget":B,"algo":"pcfr"?,"seed":S?,"g_probes":P?}],
     [{"op":"mutate","ops":[["insert",u,v],["delete",u,v],...]}],
-    [{"op":"stats"}], [{"op":"shutdown"}].
+    [{"op":"stats","detail":true?}], [{"op":"shutdown"}].
+
+    Any request may carry an ["id"] field (string or integer): the trace
+    id.  It is echoed verbatim as the first field of the response line
+    ([{"id":...,"op":...}]) and stamped into the wide-event log, so a
+    client can correlate pipelined responses and an operator can find a
+    specific request in the telemetry.  No id is ever generated — an
+    untraced request keeps its exact historical response bytes.
 
     Responses are deterministic functions of the epoch they ran against —
     no wall-clock times, edge lists sorted — so a replayed request script
     yields byte-identical transcripts (the serve-smoke golden test relies
-    on this). *)
+    on this).  The one exception is opt-in: [{"op":"stats","detail":true}]
+    appends an ["obs"] section with live counters and latency quantiles
+    (see {!Telemetry.stats_obs_json}), which is wall-clock-dependent by
+    nature. *)
 
 type algo = Pcfr | Pcf | Pcr
 
@@ -21,7 +31,7 @@ type t =
   | Onion of { k : int; limit : int option }
   | Maximize of { k : int; budget : int; algo : algo; seed : int; g_probes : int option }
   | Mutate of Mutation_log.op list
-  | Stats
+  | Stats of { detail : bool }
   | Shutdown
 
 val op_name : t -> string
@@ -37,6 +47,16 @@ val parse : string -> (t, string) result
     [g_probes] ≥ 1 — the same ranges the one-shot CLI enforces), so a
     well-formed-but-out-of-range request is rejected here instead of
     raising inside an evaluator. *)
+
+val parse_traced : string -> (t, string) result * string option
+(** {!parse}, plus the client-supplied ["id"] field re-rendered as a JSON
+    literal (["\"abc\""], ["7"]) — [None] when absent, non-string/integer,
+    or the line is not JSON.  A malformed-but-JSON request still yields
+    its id, so even error responses stay correlatable. *)
+
+val with_id : string option -> string -> string
+(** [with_id id resp] splices [{"id":ID,] in front of the response
+    object's first field; identity when [id] is [None]. *)
 
 val error_response : string -> string
 (** [{"error":"..."}]. *)

@@ -15,21 +15,6 @@ exception Client_gone
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ())
 
-let c_requests = Obs.Counter.make "service.requests"
-let c_batches = Obs.Counter.make "service.read_batches"
-
-(* One latency histogram per op, registered as a labelled family so the
-   OpenMetrics exposition renders maxtruss_request_duration_ns{op="..."}. *)
-let hist_table : (string, Obs.Histogram.t) Hashtbl.t = Hashtbl.create 8
-
-let hist_for op =
-  match Hashtbl.find_opt hist_table op with
-  | Some h -> h
-  | None ->
-    let h = Obs.Histogram.make (Printf.sprintf "request_duration_ns{op=%s}" op) in
-    Hashtbl.replace hist_table op h;
-    h
-
 (* Buffered line reader over a raw fd, with both a blocking [next] and a
    non-blocking [ready] so the dispatcher can batch already-pipelined
    requests without stalling on a quiet connection. *)
@@ -87,7 +72,10 @@ module Line_reader = struct
     | n -> t.tail <- t.tail + n
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> t.eof <- true
 
-  let rec next t =
+  (* [idle] runs whenever [next] is about to block in [refill] — the hook
+     the metrics endpoint uses to serve scrapes while the connection is
+     quiet (it returns once the fd is readable, so the read won't stall). *)
+  let rec next ?(idle = fun () -> ()) t =
     match take_line t with
     | Some l -> Some l
     | None ->
@@ -101,8 +89,9 @@ module Line_reader = struct
         end
         else None
       else begin
+        idle ();
         refill t;
-        next t
+        next ~idle t
       end
 
   (* [`Line l] if a full line is available without blocking, [`Eof] at end
@@ -132,74 +121,116 @@ let write_all fd s =
   in
   go 0
 
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
-
 (* Exception barrier around request evaluation: Request.parse rejects
    out-of-range parameters up front, but anything the evaluators still
-   raise must become an error response, never a daemon crash. *)
+   raise must become an error response, never a daemon crash.  The flag
+   distinguishes a served error from a served answer for telemetry. *)
 let guarded op f =
-  try f () with
-  | Invalid_argument msg | Failure msg -> Request.error_response (op ^ ": " ^ msg)
-  | Stack_overflow | Out_of_memory -> Request.error_response (op ^ ": request too large")
-  | e -> Request.error_response (op ^ ": " ^ Printexc.to_string e)
+  try (f (), true) with
+  | Invalid_argument msg | Failure msg -> (Request.error_response (op ^ ": " ^ msg), false)
+  | Stack_overflow | Out_of_memory -> (Request.error_response (op ^ ": request too large"), false)
+  | e -> (Request.error_response (op ^ ": " ^ Printexc.to_string e), false)
 
-let serve_fd ?(config = default_config) store ~input ~output =
+let serve_fd ?(config = default_config) ?metrics store ~input ~output =
   Lazy.force ignore_sigpipe;
   let lr = Line_reader.create input in
+  let idle () =
+    match metrics with
+    | None -> ()
+    | Some mfd -> Metrics_endpoint.wait_input ~input ~metrics:mfd
+  in
   let respond line = write_all output (line ^ "\n") in
   let ml_config = { Mutation_log.fallback_fraction = config.fallback_fraction } in
+  (* Timestamps are taken only while telemetry wants them ([arrival] is 0
+     otherwise): with collection off and no event sink, the added
+     per-request path performs no clock reads and allocates nothing. *)
+  let arrival tele = if tele then Telemetry.now_ns () else 0 in
   let timed_read epoch req () =
     let op = Request.op_name req in
-    let t0 = now_ns () in
-    let resp = guarded op (fun () -> Request.handle_read ~epoch req) in
-    (resp, op, now_ns () - t0)
+    let t0 = Telemetry.now_ns () in
+    let resp, ok = guarded op (fun () -> Request.handle_read ~epoch req) in
+    (resp, op, max 0 (Telemetry.now_ns () - t0), ok)
   in
   (* Evaluate a batch of read requests against one pinned epoch.  The
      requests are independent and the epoch is frozen, so fanning out on
-     the Par pool keeps answers bit-identical at any domain count. *)
-  let flush_reads reqs =
-    match reqs with
+     the Par pool keeps answers bit-identical at any domain count.  Each
+     batch entry is [(request, trace id, arrival stamp)]. *)
+  let flush_reads batch =
+    match batch with
     | [] -> ()
     | _ ->
       let epoch = Store.current store in
-      Obs.Counter.incr c_batches;
+      let n = List.length batch in
+      Telemetry.batch_started n;
+      let tele = Telemetry.active () in
+      let t_flush = arrival tele in
       let results =
-        match reqs with
-        | [ req ] -> [ timed_read epoch req () ]
-        | _ -> Par.map_list (fun req -> timed_read epoch req ()) reqs
+        match batch with
+        | [ (req, _, _) ] -> [ timed_read epoch req () ]
+        | _ -> Par.map_list (fun (req, _, _) -> timed_read epoch req ()) batch
       in
-      List.iter
-        (fun (resp, op, ns) ->
-          Obs.Counter.incr c_requests;
-          Obs.Histogram.observe (hist_for op) (max 0 ns);
-          respond resp)
-        results
+      let gen = Epoch.generation epoch in
+      let age = Epoch.generation (Store.current store) - gen in
+      let rec emit pos results batch =
+        match (results, batch) with
+        | [], [] -> ()
+        | (resp, op, exec_ns, ok) :: results, (_, id, t_arr) :: batch ->
+          if tele then
+            Telemetry.record ~op ~id ~gen ~epoch_age:age
+              ~queue_ns:(max 0 (t_flush - t_arr))
+              ~exec_ns ~batch_size:n ~batch_pos:pos ~ok;
+          respond (Request.with_id id resp);
+          emit (pos + 1) results batch
+        | _ -> assert false
+      in
+      emit 0 results batch;
+      Telemetry.batch_finished ()
   in
-  let mutate ops =
-    Obs.Counter.incr c_requests;
-    let t0 = now_ns () in
-    let resp = guarded "mutate" (fun () -> Request.handle_mutate ~store ~config:ml_config ops) in
-    Obs.Histogram.observe (hist_for "mutate") (max 0 (now_ns () - t0));
-    respond resp
+  let mutate ~id ~t_arr ops =
+    let tele = Telemetry.active () in
+    let t0 = arrival tele in
+    let resp, ok = guarded "mutate" (fun () -> Request.handle_mutate ~store ~config:ml_config ops) in
+    if tele then begin
+      let exec_ns = max 0 (Telemetry.now_ns () - t0) in
+      (* A mutate runs against the store head it publishes onto: age 0. *)
+      Telemetry.record ~op:"mutate" ~id ~gen:(Epoch.generation (Store.current store))
+        ~epoch_age:0
+        ~queue_ns:(max 0 (t0 - t_arr))
+        ~exec_ns ~batch_size:1 ~batch_pos:0 ~ok
+    end;
+    respond (Request.with_id id resp)
+  in
+  let record_unit ~op ~id ~t_arr ~ok =
+    if Telemetry.active () then
+      Telemetry.record ~op ~id ~gen:(Epoch.generation (Store.current store)) ~epoch_age:0
+        ~queue_ns:(max 0 (Telemetry.now_ns () - t_arr))
+        ~exec_ns:0 ~batch_size:1 ~batch_pos:0 ~ok
   in
   let rec loop () =
-    match Line_reader.next lr with
+    match Line_reader.next ~idle lr with
     | None -> Eof
-    | Some line -> dispatch (Request.parse line)
-  and dispatch = function
+    | Some line ->
+      let t_arr = arrival (Telemetry.active ()) in
+      let parsed, id = Request.parse_traced line in
+      dispatch (parsed, id, t_arr)
+  and dispatch (parsed, id, t_arr) =
+    match parsed with
     | Error e ->
-      respond (Request.error_response e);
+      record_unit ~op:"error" ~id ~t_arr ~ok:false;
+      respond (Request.with_id id (Request.error_response e));
       loop ()
     | Ok Request.Shutdown ->
-      respond Request.shutdown_response;
+      record_unit ~op:"shutdown" ~id ~t_arr ~ok:true;
+      respond (Request.with_id id Request.shutdown_response);
       Shutdown_requested
     | Ok (Request.Mutate ops) ->
-      mutate ops;
+      mutate ~id ~t_arr ops;
       loop ()
     | Ok first ->
       (* Read request: gather whatever other reads are already pipelined,
          stopping at the first barrier (mutate/shutdown/parse error). *)
-      let batch = ref [ first ] in
+      let tele = Telemetry.active () in
+      let batch = ref [ (first, id, t_arr) ] in
       let count = ref 1 in
       let barrier = ref None in
       let rec gather () =
@@ -207,24 +238,30 @@ let serve_fd ?(config = default_config) store ~input ~output =
           match Line_reader.ready lr with
           | `Would_block | `Eof -> ()
           | `Line l -> (
-            match Request.parse l with
-            | Ok r when Request.is_read r ->
-              batch := r :: !batch;
+            let t2 = arrival tele in
+            match Request.parse_traced l with
+            | Ok r, id2 when Request.is_read r ->
+              batch := (r, id2, t2) :: !batch;
               incr count;
               gather ()
-            | other -> barrier := Some other)
+            | other, id2 -> barrier := Some (other, id2, t2))
       in
       gather ();
       flush_reads (List.rev !batch);
-      (match !barrier with None -> loop () | Some parsed -> dispatch parsed)
+      (match !barrier with None -> loop () | Some pending -> dispatch pending)
   in
   try loop () with Client_gone -> Eof
 
-let serve_stdin ?config store = serve_fd ?config store ~input:Unix.stdin ~output:Unix.stdout
+let serve_stdin ?config ?metrics store =
+  serve_fd ?config ?metrics store ~input:Unix.stdin ~output:Unix.stdout
 
-let accept_loop ?config store listen_fd =
+let accept_loop ?config ?metrics store listen_fd =
   Lazy.force ignore_sigpipe;
   let rec go () =
+    (* Between connections the daemon still answers scrapes. *)
+    (match metrics with
+    | None -> ()
+    | Some mfd -> Metrics_endpoint.wait_input ~input:listen_fd ~metrics:mfd);
     match Unix.accept listen_fd with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | conn, _ ->
@@ -233,7 +270,7 @@ let accept_loop ?config store listen_fd =
           ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
           (fun () ->
             (* One broken connection must not stop the daemon accepting. *)
-            try serve_fd ?config store ~input:conn ~output:conn
+            try serve_fd ?config ?metrics store ~input:conn ~output:conn
             with e ->
               Printf.eprintf "[serve] connection error: %s\n%!" (Printexc.to_string e);
               Eof)
@@ -242,7 +279,7 @@ let accept_loop ?config store listen_fd =
   in
   go ()
 
-let listen_unix ?config ~path store =
+let listen_unix ?config ?metrics ~path store =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -252,9 +289,9 @@ let listen_unix ?config ~path store =
     (fun () ->
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 8;
-      accept_loop ?config store fd)
+      accept_loop ?config ?metrics store fd)
 
-let listen_tcp ?config ~host ~port store =
+let listen_tcp ?config ?metrics ~host ~port store =
   let addr =
     match host with
     | "" -> Unix.inet_addr_loopback
@@ -272,4 +309,4 @@ let listen_tcp ?config ~host ~port store =
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (addr, port));
       Unix.listen fd 8;
-      accept_loop ?config store fd)
+      accept_loop ?config ?metrics store fd)

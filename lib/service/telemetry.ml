@@ -1,0 +1,111 @@
+(* Request-scoped telemetry shared by the server loop, the stats protocol
+   extension and the serve bench: the per-op latency family, the
+   queue-wait/exec split histograms, the dispatch gauges and the fan-out
+   into the wide-event log.
+
+   Everything funnels through [record] so the three consumers (OpenMetrics
+   scrape, stats detail response, event log) always agree on what was
+   measured.  [record] early-outs on [active ()] — one atomic load plus
+   one ref load — so with collection off and no event sink the per-request
+   path allocates zero words (enforced by the zero-alloc tests). *)
+
+let c_requests = Obs.Counter.make "service.requests"
+let c_read_batches = Obs.Counter.make "service.read_batches"
+
+(* Dispatch split: time a request spent buffered behind its batch vs the
+   time its evaluator ran.  Queue-wait growing while exec stays flat is
+   the admission-control signal ROADMAP item 1 needs. *)
+let h_queue_wait = Obs.Histogram.make "service.queue_wait_ns"
+let h_exec = Obs.Histogram.make "service.exec_ns"
+
+let g_in_flight = Obs.Gauge.make "service.in_flight"
+let g_batch_size = Obs.Gauge.make "service.batch_size"
+let g_epoch_age = Obs.Gauge.make "service.epoch_age_gen"
+
+(* One latency histogram per op, registered as a labelled family so the
+   OpenMetrics exposition renders maxtruss_request_duration_ns{op="..."}.
+   The table only grows while telemetry is active, and the op vocabulary
+   is the protocol's — bounded. *)
+let hist_table : (string, Obs.Histogram.t) Hashtbl.t = Hashtbl.create 8
+let hist_mutex = Mutex.create ()
+
+let hist_for op =
+  match Hashtbl.find_opt hist_table op with
+  | Some h -> h
+  | None ->
+    Mutex.lock hist_mutex;
+    let h =
+      match Hashtbl.find_opt hist_table op with
+      | Some h -> h
+      | None ->
+        let h = Obs.Histogram.make (Printf.sprintf "request_duration_ns{op=%s}" op) in
+        Hashtbl.replace hist_table op h;
+        h
+    in
+    Mutex.unlock hist_mutex;
+    h
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let active () = Obs.enabled () || Obs.Events.active ()
+
+let record ~op ~id ~gen ~epoch_age ~queue_ns ~exec_ns ~batch_size ~batch_pos ~ok =
+  if active () then begin
+    Obs.Counter.incr c_requests;
+    Obs.Histogram.observe (hist_for op) exec_ns;
+    Obs.Histogram.observe h_queue_wait queue_ns;
+    Obs.Histogram.observe h_exec exec_ns;
+    Obs.Gauge.set_int g_epoch_age epoch_age;
+    Obs.Events.emit_request ~op ~id ~gen ~epoch_age ~queue_ns ~exec_ns ~batch_size
+      ~batch_pos ~ok
+  end
+
+let batch_started n =
+  Obs.Counter.incr c_read_batches;
+  Obs.Gauge.set_int g_in_flight n;
+  Obs.Gauge.set_int g_batch_size n
+
+let batch_finished () = Obs.Gauge.set_int g_in_flight 0
+
+(* {2 Stats detail rendering} *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let add_quantiles b name h =
+  Printf.bprintf b "\"%s\":{\"count\":%d,\"p50\":%d,\"p99\":%d}" name (Obs.Histogram.count h)
+    (Obs.Histogram.quantile h 0.50) (Obs.Histogram.quantile h 0.99)
+
+let stats_obs_json () =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "{\"enabled\":%b" (Obs.enabled ());
+  if Obs.enabled () then begin
+    (* Live Obs counters next to the plain-Atomic mirrors the top-level
+       stats fields report: the mirrors count since process start, the Obs
+       counters since collection was enabled / last reset — over any
+       window with collection on, their deltas must agree. *)
+    Buffer.add_string b ",\"counters\":{";
+    List.iteri
+      (fun i (name, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Printf.bprintf b "\"%s\":%d" (Json_min.escape name) v)
+      (List.filter (fun (name, _) -> starts_with ~prefix:"service." name) (Obs.counters ()));
+    Buffer.add_string b "},\"latency_ns\":{";
+    let ops =
+      Hashtbl.fold (fun op h acc -> (op, h) :: acc) hist_table []
+      |> List.filter (fun (_, h) -> Obs.Histogram.count h > 0)
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iteri
+      (fun i (op, h) ->
+        if i > 0 then Buffer.add_char b ',';
+        add_quantiles b (Json_min.escape op) h)
+      ops;
+    if ops <> [] then Buffer.add_char b ',';
+    add_quantiles b "queue_wait" h_queue_wait;
+    Buffer.add_char b ',';
+    add_quantiles b "exec" h_exec;
+    Buffer.add_string b "}"
+  end;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,58 @@
+(** Request-scoped telemetry shared by the server loop, the [stats]
+    protocol extension and the serve bench.
+
+    One funnel, three consumers: {!record} feeds the per-op
+    [request_duration_ns{op=...}] family, the [service.queue_wait_ns] /
+    [service.exec_ns] split histograms, the [service.epoch_age_gen] gauge
+    and the {!Obs.Events} wide-event log, so the OpenMetrics scrape, the
+    [stats] detail response and the event log always agree on what was
+    measured.
+
+    Overhead contract: with collection disabled and no event sink,
+    {!record} and the batch gauges cost an atomic load or two and allocate
+    zero words — cheap enough for the dispatch hot path (enforced by the
+    zero-alloc tests). *)
+
+val now_ns : unit -> int
+(** Wall clock in integer nanoseconds (the unit every histogram here
+    uses). *)
+
+val active : unit -> bool
+(** Whether {!record} would do anything: collection enabled {e or} an
+    event sink configured.  The server gates its timestamping on this so
+    the disabled path takes no clock readings. *)
+
+val record :
+  op:string ->
+  id:string option ->
+  gen:int ->
+  epoch_age:int ->
+  queue_ns:int ->
+  exec_ns:int ->
+  batch_size:int ->
+  batch_pos:int ->
+  ok:bool ->
+  unit
+(** Account one completed request: [op] names the protocol op ("error"
+    for parse failures), [id] is the client trace id as a rendered JSON
+    literal (see {!Request.parse_traced}), [gen] the epoch generation it
+    ran against, [epoch_age] how many generations behind the store head
+    that epoch was, [queue_ns]/[exec_ns] the dispatch split, and
+    [batch_pos] its position inside a [batch_size]-wide read batch. *)
+
+val batch_started : int -> unit
+(** Count a read batch and set the [service.in_flight] /
+    [service.batch_size] gauges to its width. *)
+
+val batch_finished : unit -> unit
+(** Drop [service.in_flight] back to 0. *)
+
+val hist_for : string -> Obs.Histogram.t
+(** The per-op latency histogram, created on first use
+    ([request_duration_ns{op=...}] in the exposition). *)
+
+val stats_obs_json : unit -> string
+(** The ["obs"] section of a [{"op":"stats","detail":true}] response:
+    [{"enabled":B}] while collection is off, otherwise also ["counters"]
+    (every live [service.*] Obs counter) and ["latency_ns"] (count/p50/p99
+    per op with traffic, plus the ["queue_wait"]/["exec"] split). *)

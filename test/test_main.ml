@@ -7,6 +7,14 @@ let () =
   | Some dump -> Test_obs.flight_recorder_child dump
   | None -> ()
 
+(* Same re-exec trick for the SIGUSR1 live-dump test: the child must
+   prove it dumps on USR1 and keeps running (exit 0), unlike the fatal
+   signals above. *)
+let () =
+  match Sys.getenv_opt "MAXTRUSS_FLIGHT_USR1_CHILD" with
+  | Some dump -> Test_obs.flight_recorder_usr1_child dump
+  | None -> ()
+
 (* CI post-mortem: MAXTRUSS_FLIGHT_RECORD=N arms the flight recorder for
    the whole suite run, so a hung or killed CI job leaves a Chrome-trace
    tail (flight-record.json) that the workflow uploads as an artifact. *)

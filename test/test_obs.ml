@@ -255,11 +255,14 @@ let test_disabled_no_footprint () =
      allocation-free; any slack would mean a hidden box on the hot path) *)
   let sp0 = Obs.Span.enter "warm" in
   Obs.Span.exit sp0;
+  Alcotest.(check bool) "no event sink configured" false (Obs.Events.active ());
   let before = Gc.minor_words () in
   for _ = 1 to 1000 do
     Obs.Counter.incr c;
     Obs.Gauge.set g 1.0;
     Obs.Histogram.observe h 7;
+    Obs.Events.emit_request ~op:"hot" ~id:None ~gen:0 ~epoch_age:0 ~queue_ns:1
+      ~exec_ns:2 ~batch_size:1 ~batch_pos:0 ~ok:true;
     let sp = Obs.Span.enter "hot" in
     Obs.Span.exit sp
   done;
@@ -735,6 +738,186 @@ let test_flight_recorder_abort () =
           && not (contains contents "doomed4"))
       | _ -> Alcotest.fail "dump lacks a traceEvents array"))
 
+(* Live inspection: SIGUSR1 must dump the ring and NOT kill the process.
+   Same re-exec scheme (MAXTRUSS_FLIGHT_USR1_CHILD); the child self-signals,
+   keeps computing, verifies the dump appeared, and exits 0. *)
+let flight_recorder_usr1_child dump =
+  Obs.set_enabled true;
+  Obs.Flight_recorder.configure ~capacity:8;
+  Obs.Flight_recorder.set_dump_path (Some dump);
+  Obs.Flight_recorder.install_crash_hooks ();
+  for i = 1 to 5 do
+    Obs.Span.with_ (Printf.sprintf "alive%d" i) (fun () -> ())
+  done;
+  Unix.kill (Unix.getpid ()) Sys.sigusr1;
+  (* OCaml delivers signals at allocation points; loop until the handler
+     has run and the dump exists (bounded by the span count) *)
+  let rec wait n =
+    if Sys.file_exists dump then ()
+    else if n = 0 then Stdlib.exit 3
+    else begin
+      Obs.Span.with_ "spin" (fun () -> ignore (Sys.opaque_identity (Array.make 16 0)));
+      wait (n - 1)
+    end
+  in
+  wait 10_000;
+  (* still alive after the dump: record one more span, then leave cleanly
+     (drop the dump path so at_exit doesn't overwrite the USR1 snapshot) *)
+  Obs.Span.with_ "survivor" (fun () -> ());
+  Obs.Flight_recorder.set_dump_path None;
+  Stdlib.exit 0
+
+let test_flight_recorder_usr1 () =
+  let dir = Filename.temp_file "flightusr1" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let dump = Filename.concat dir "flight.json" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dump then Sys.remove dump;
+      Unix.rmdir dir)
+  @@ fun () ->
+  let env =
+    Array.append (Unix.environment ())
+      [| "MAXTRUSS_FLIGHT_USR1_CHILD=" ^ dump |]
+  in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED 3 -> Alcotest.fail "USR1 handler never produced a dump"
+  | Unix.WEXITED c -> Alcotest.failf "child exited %d" c
+  | Unix.WSIGNALED s -> Alcotest.failf "child died by signal %d (USR1 must be non-fatal)" s
+  | Unix.WSTOPPED _ -> Alcotest.fail "child stopped");
+  Alcotest.(check bool) "dump written while running" true (Sys.file_exists dump);
+  let contents = In_channel.with_open_bin dump In_channel.input_all in
+  check_json contents;
+  Alcotest.(check bool) "snapshot holds the pre-signal spans" true
+    (contains contents "alive5")
+
+(* --- wide-event log (Obs.Events) --- *)
+
+let with_event_log ?sample_every ?seed ?slow_ns f =
+  let path = Filename.temp_file "events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.close ();
+      if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Obs.Events.configure ?sample_every ?seed ?slow_ns path;
+  f ();
+  Obs.Events.close ();
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  lines
+
+let emit ?(id = None) ?(exec_ns = 100) pos =
+  Obs.Events.emit_request ~op:"trussness" ~id ~gen:2 ~epoch_age:1 ~queue_ns:50
+    ~exec_ns ~batch_size:10 ~batch_pos:pos ~ok:true
+
+let parsed_requests lines =
+  (* every line must be standalone well-formed JSON; split off the header *)
+  let objs =
+    List.map
+      (fun l ->
+        match Json_min.parse l with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "event line is not JSON (%s): %s" e l)
+      lines
+  in
+  match objs with
+  | [] -> Alcotest.fail "event log is empty (missing start header)"
+  | header :: rest ->
+    Alcotest.(check (option string))
+      "header schema" (Some "maxtruss-serve-events")
+      Json_min.(member "schema" header |> Option.map to_str |> Option.join);
+    List.iter
+      (fun j ->
+        Alcotest.(check (option string))
+          "request event" (Some "request")
+          Json_min.(member "event" j |> Option.map to_str |> Option.join))
+      rest;
+    rest
+
+let test_events_jsonl () =
+  let lines = with_event_log (fun () ->
+      emit ~id:(Some "\"req-1\"") 0;
+      emit ~id:(Some "7") ~exec_ns:250 1;
+      emit 2)
+  in
+  let reqs = parsed_requests lines in
+  Alcotest.(check int) "all three events written (sample 1/1)" 3 (List.length reqs);
+  Alcotest.(check int) "seen = 3" 3 (Obs.Events.seen ());
+  Alcotest.(check int) "written = 3" 3 (Obs.Events.written ());
+  let first = List.nth reqs 0 in
+  Alcotest.(check (option string)) "string id embedded verbatim" (Some "req-1")
+    Json_min.(member "id" first |> Option.map to_str |> Option.join);
+  let second = List.nth reqs 1 in
+  Alcotest.(check (option int)) "integer id stays a number" (Some 7)
+    Json_min.(member "id" second |> Option.map to_int |> Option.join);
+  Alcotest.(check (option int)) "exec_ns field" (Some 250)
+    Json_min.(member "exec_ns" second |> Option.map to_int |> Option.join);
+  let third = List.nth reqs 2 in
+  Alcotest.(check bool) "untraced event has no id field" true
+    (Json_min.member "id" third = None);
+  Alcotest.(check (option int)) "batch_pos field" (Some 2)
+    Json_min.(member "batch_pos" third |> Option.map to_int |> Option.join)
+
+let batch_positions lines =
+  parsed_requests lines
+  |> List.map (fun j ->
+         match Json_min.(member "batch_pos" j |> Option.map to_int |> Option.join) with
+         | Some p -> p
+         | None -> Alcotest.fail "request event lacks batch_pos")
+
+let test_events_sampling_deterministic () =
+  let run () =
+    with_event_log ~sample_every:4 ~seed:99 (fun () ->
+        for i = 0 to 199 do
+          emit i
+        done)
+  in
+  let a = run () and b = run () in
+  let pa = batch_positions a in
+  Alcotest.(check (list int)) "identical sample set under a fixed seed" pa
+    (batch_positions b);
+  let n = List.length pa in
+  Alcotest.(check bool)
+    (Printf.sprintf "1-in-4 sampling thinned the stream (kept %d/200)" n)
+    true
+    (n > 0 && n < 200);
+  Alcotest.(check int) "seen counts everything" 200 (Obs.Events.seen ())
+
+let test_events_slow_override () =
+  (* sampling keeps (statistically) nothing, yet every 10th event crosses
+     slow_ns and must be written regardless *)
+  let lines =
+    with_event_log ~sample_every:1_000_000 ~seed:1 ~slow_ns:1_000_000 (fun () ->
+        for i = 0 to 99 do
+          emit ~exec_ns:(if i mod 10 = 0 then 9_000_000 else 100) i
+        done)
+  in
+  let reqs = parsed_requests lines in
+  let slow =
+    List.filter
+      (fun j -> Json_min.(member "slow" j) = Some (Json_min.Bool true))
+      reqs
+  in
+  Alcotest.(check int) "all 10 slow events forced through" 10 (List.length slow);
+  List.iter
+    (fun j ->
+      match Json_min.(member "batch_pos" j |> Option.map to_int |> Option.join) with
+      | Some p -> Alcotest.(check int) "forced events are the slow ones" 0 (p mod 10)
+      | None -> Alcotest.fail "missing batch_pos")
+    slow
+
 (* --- cross-domain exits --- *)
 
 let test_cross_domain_exit_dropped () =
@@ -828,6 +1011,13 @@ let suite =
     Alcotest.test_case "flight recorder ring" `Quick test_flight_recorder_ring;
     Alcotest.test_case "flight recorder dumps on fatal signal" `Quick
       test_flight_recorder_abort;
+    Alcotest.test_case "flight recorder SIGUSR1 dump keeps process alive" `Quick
+      test_flight_recorder_usr1;
+    Alcotest.test_case "event log: JSONL shape + trace ids" `Quick test_events_jsonl;
+    Alcotest.test_case "event log: sampling deterministic under fixed seed" `Quick
+      test_events_sampling_deterministic;
+    Alcotest.test_case "event log: slow override beats sampling" `Quick
+      test_events_slow_override;
     Alcotest.test_case "cross-domain exit dropped + counted" `Quick
       test_cross_domain_exit_dropped;
     Alcotest.test_case "scope merge after exception" `Quick

@@ -18,7 +18,7 @@ let probe_requests epoch =
   in
   [
     Service.Request.Decompose;
-    Service.Request.Stats;
+    Service.Request.Stats { detail = false };
     Service.Request.Truss_query { k = 3; limit = None };
     Service.Request.Truss_query { k = max 3 kmax; limit = None };
     Service.Request.Onion { k = max 3 kmax; limit = None };
@@ -340,6 +340,271 @@ let test_server_deterministic_across_domains () =
   let _, four = serve_script (store_of (Helpers.two_cliques_shared_edge ())) script in
   Alcotest.(check (list string)) "transcripts identical at 1 vs 4 domains" one four
 
+(* --- request tracing ------------------------------------------------------ *)
+
+let test_parse_traced () =
+  let traced s = snd (Service.Request.parse_traced s) in
+  Alcotest.(check (option string)) "string id re-rendered" (Some {|"req-1"|})
+    (traced {|{"op":"stats","id":"req-1"}|});
+  Alcotest.(check (option string)) "integer id re-rendered" (Some "7")
+    (traced {|{"op":"stats","id":7}|});
+  Alcotest.(check (option string)) "absent id" None (traced {|{"op":"stats"}|});
+  Alcotest.(check (option string)) "array id ignored" None
+    (traced {|{"op":"stats","id":[1]}|});
+  Alcotest.(check (option string)) "fractional id ignored" None
+    (traced {|{"op":"stats","id":1.5}|});
+  Alcotest.(check (option string)) "id survives an unknown op" (Some {|"x"|})
+    (traced {|{"op":"frobnicate","id":"x"}|});
+  Alcotest.(check (option string)) "id escaping round-trips" (Some {|"a\"b"|})
+    (traced {|{"op":"stats","id":"a\"b"}|});
+  Alcotest.(check (option string)) "non-json line has no id" None (traced "garbage");
+  Alcotest.(check string) "with_id splices before the first field"
+    {|{"id":"a","op":"stats"}|}
+    (Service.Request.with_id (Some {|"a"|}) {|{"op":"stats"}|});
+  Alcotest.(check string) "with_id None is identity" {|{"op":"stats"}|}
+    (Service.Request.with_id None {|{"op":"stats"}|})
+
+let test_trace_id_echo () =
+  let script =
+    [
+      {|{"op":"stats","id":"alpha"}|};
+      {|{"op":"decompose"}|};
+      {|{"op":"trussness","edges":[[0,1]],"id":7}|};
+      {|{"op":"frobnicate","id":"bad"}|};
+      {|{"op":"mutate","ops":[["insert",2,7]],"id":"mut"}|};
+      {|{"op":"shutdown","id":"bye"}|};
+    ]
+  in
+  let stop, responses = serve_script (store_of (Helpers.two_cliques_shared_edge ())) script in
+  Alcotest.(check bool) "stopped on shutdown" true (stop = Service.Server.Shutdown_requested);
+  Alcotest.(check int) "one response per request" (List.length script) (List.length responses);
+  let starts i prefix =
+    let r = List.nth responses i in
+    Alcotest.(check bool)
+      (Printf.sprintf "response %d starts with %s (got %s)" i prefix r)
+      true
+      (String.length r >= String.length prefix && String.sub r 0 (String.length prefix) = prefix)
+  in
+  starts 0 {|{"id":"alpha","op":"stats"|};
+  starts 1 {|{"op":"decompose"|};
+  Alcotest.(check bool) "untraced response carries no id" false
+    (Helpers.contains (List.nth responses 1) {|"id"|});
+  starts 2 {|{"id":7,"op":"trussness"|};
+  (* even the inline parse error stays correlatable *)
+  starts 3 {|{"id":"bad","error"|};
+  starts 4 {|{"id":"mut","op":"mutate"|};
+  starts 5 {|{"id":"bye",|};
+  (* a traced transcript equals the untraced one modulo the id prefix *)
+  let untraced =
+    [
+      {|{"op":"stats"}|};
+      {|{"op":"decompose"}|};
+      {|{"op":"trussness","edges":[[0,1]]}|};
+      {|{"op":"frobnicate"}|};
+      {|{"op":"mutate","ops":[["insert",2,7]]}|};
+      {|{"op":"shutdown"}|};
+    ]
+  in
+  let _, plain = serve_script (store_of (Helpers.two_cliques_shared_edge ())) untraced in
+  let strip_id r =
+    if String.length r > 6 && String.sub r 0 6 = {|{"id":|} then
+      match String.index_opt r ',' with
+      | Some i -> "{" ^ String.sub r (i + 1) (String.length r - i - 1)
+      | None -> r
+    else r
+  in
+  Alcotest.(check (list string)) "tracing changes nothing but the id prefix" plain
+    (List.map strip_id responses)
+
+let test_event_log_does_not_change_transcript () =
+  let run () = serve_script (store_of (Helpers.two_cliques_shared_edge ())) script in
+  let _, plain = run () in
+  let path = Filename.temp_file "serve_events" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Events.close ();
+      if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  Obs.Events.configure ~slow_ns:1 path;
+  let _, logged = run () in
+  Obs.Events.close ();
+  Alcotest.(check (list string)) "transcript byte-identical with event log on" plain logged;
+  Alcotest.(check bool) "events were written" true (Obs.Events.written () > 0);
+  Alcotest.(check int) "one event per request" (List.length script) (Obs.Events.seen ())
+
+(* --- stats detail: plain-Atomic mirrors vs live Obs counters -------------- *)
+
+let jget path json =
+  List.fold_left
+    (fun j key -> match j with Some j -> Json_min.member key j | None -> None)
+    (Some json) path
+
+let jint path json = Option.bind (jget path json) Json_min.to_int
+
+let test_stats_detail_consistency () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  let store = store_of (Gen.complete 6) in
+  let mirror0 = Service.Mutation_log.fallback_count () in
+  (* Forced-fallback burst: a zero threshold rebuilds on every batch, so
+     the plain-Atomic mirror (counts since process start) and the Obs
+     counter (counts since reset, above) must advance in lockstep. *)
+  let config = { Service.Mutation_log.fallback_fraction = 0.0 } in
+  for i = 0 to 4 do
+    ignore
+      (Service.Mutation_log.apply ~config store
+         [ Service.Mutation_log.Insert (50 + i, 60 + i) ])
+  done;
+  let epoch = Service.Store.current store in
+  let resp =
+    Service.Request.handle_read ~epoch (Service.Request.Stats { detail = true })
+  in
+  let json =
+    match Json_min.parse resp with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "stats detail response is not JSON (%s): %s" e resp
+  in
+  Alcotest.(check (option int)) "mirror advanced by the burst" (Some (mirror0 + 5))
+    (jint [ "maintain_fallbacks" ] json);
+  Alcotest.(check bool) "obs section reports collection on" true
+    (jget [ "obs"; "enabled" ] json = Some (Json_min.Bool true));
+  Alcotest.(check (option int)) "obs fallback counter agrees with the mirror delta"
+    (Some 5)
+    (jint [ "obs"; "counters"; "service.maintain_fallbacks" ] json);
+  Alcotest.(check (option int)) "obs batch counter saw the burst" (Some 5)
+    (jint [ "obs"; "counters"; "service.batches" ] json);
+  (* the split quantiles are always present in detail mode *)
+  Alcotest.(check bool) "queue_wait quantiles present" true
+    (jget [ "obs"; "latency_ns"; "queue_wait"; "p99" ] json <> None);
+  Alcotest.(check bool) "exec quantiles present" true
+    (jget [ "obs"; "latency_ns"; "exec"; "count" ] json <> None);
+  (* without detail the response stays the deterministic protocol shape *)
+  let plain =
+    Service.Request.handle_read ~epoch (Service.Request.Stats { detail = false })
+  in
+  Alcotest.(check bool) "no obs section without detail" false
+    (Helpers.contains plain {|"obs"|})
+
+(* --- live /metrics scrape while serving ----------------------------------- *)
+
+let read_all fd =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+  in
+  go ()
+
+let http_body response =
+  let n = String.length response in
+  let rec at i =
+    if i + 4 > n then None
+    else if String.sub response i 4 = "\r\n\r\n" then Some i
+    else at (i + 1)
+  in
+  match at 0 with
+  | Some i -> String.sub response (i + 4) (n - i - 4)
+  | None -> Alcotest.failf "scrape response lacks an HTTP header: %s" response
+
+let test_live_scrape_during_replay () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let dir = Filename.temp_file "scrape" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "metrics.sock" in
+  let listen_fd = Service.Metrics_endpoint.bind_unix ~path:sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Metrics_endpoint.close_unix ~path:sock listen_fd;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  let in_r, in_w = Unix.pipe ~cloexec:false () in
+  let out_r, out_w = Unix.pipe ~cloexec:false () in
+  let store = store_of (Helpers.two_cliques_shared_edge ()) in
+  let client =
+    Domain.spawn (fun () ->
+        let send lines =
+          let p = String.concat "\n" lines ^ "\n" in
+          ignore (Unix.write_substring in_w p 0 (String.length p))
+        in
+        let ic = Unix.in_channel_of_descr out_r in
+        (* replay a read burst and wait for the responses, so the
+           queue-wait/exec histograms hold data before we scrape *)
+        send
+          [
+            {|{"op":"stats"}|};
+            {|{"op":"decompose"}|};
+            {|{"op":"trussness","edges":[[0,1],[5,6]]}|};
+          ];
+        let r1 = input_line ic in
+        let r2 = input_line ic in
+        let r3 = input_line ic in
+        (* the server is now parked in its idle select — scrape it live *)
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX sock);
+        let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+        ignore (Unix.write_substring fd req 0 (String.length req));
+        let scrape = read_all fd in
+        Unix.close fd;
+        send [ {|{"op":"shutdown"}|} ];
+        let r4 = input_line ic in
+        Unix.close in_w;
+        ([ r1; r2; r3; r4 ], scrape))
+  in
+  let stop = Service.Server.serve_fd ~metrics:listen_fd store ~input:in_r ~output:out_w in
+  let responses, scrape = Domain.join client in
+  Unix.close in_r;
+  Unix.close out_w;
+  Unix.close out_r;
+  Alcotest.(check bool) "stopped on shutdown" true (stop = Service.Server.Shutdown_requested);
+  Alcotest.(check int) "all four requests answered" 4 (List.length responses);
+  Alcotest.(check bool) "scrape is an HTTP 200" true
+    (Helpers.contains scrape "HTTP/1.0 200");
+  let body = http_body scrape in
+  (match Obs.lint_openmetrics body with
+  | Ok lines -> Alcotest.(check bool) "scrape non-trivial" true (lines > 10)
+  | Error e -> Alcotest.failf "live scrape fails the OpenMetrics lint: %s" e);
+  Alcotest.(check bool) "queue-wait histogram populated in the live scrape" true
+    (Helpers.contains body "maxtruss_service_queue_wait_ns_bucket");
+  Alcotest.(check bool) "per-op latency family present" true
+    (Helpers.contains body "maxtruss_request_duration_ns");
+  Alcotest.(check bool) "request counter present" true
+    (Helpers.contains body "maxtruss_service_requests")
+
+(* --- zero overhead when dark ---------------------------------------------- *)
+
+let test_telemetry_dark_zero_alloc () =
+  Obs.set_enabled false;
+  Alcotest.(check bool) "telemetry inactive" false (Service.Telemetry.active ());
+  let burn () =
+    Service.Telemetry.record ~op:"hot" ~id:None ~gen:3 ~epoch_age:1 ~queue_ns:10
+      ~exec_ns:20 ~batch_size:4 ~batch_pos:2 ~ok:true;
+    Service.Telemetry.batch_started 4;
+    Service.Telemetry.batch_finished ()
+  in
+  burn ();
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    burn ()
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "dark telemetry path allocation-free (got %.0f words)" allocated)
+    true
+    (allocated <= 16.)
+
 let test_maximize_leaves_epoch_intact () =
   let epoch = Service.Epoch.create (Helpers.two_cliques_shared_edge ()) in
   let edges_before = Service.Epoch.num_edges epoch in
@@ -369,5 +634,15 @@ let suite =
     Alcotest.test_case "server burst + long lines" `Quick test_server_burst_and_long_lines;
     Alcotest.test_case "server deterministic at 1 vs 4 domains" `Quick
       test_server_deterministic_across_domains;
+    Alcotest.test_case "parse_traced + with_id" `Quick test_parse_traced;
+    Alcotest.test_case "trace ids echoed on every response" `Quick test_trace_id_echo;
+    Alcotest.test_case "event log leaves the transcript untouched" `Quick
+      test_event_log_does_not_change_transcript;
+    Alcotest.test_case "stats detail: mirrors agree with obs counters" `Quick
+      test_stats_detail_consistency;
+    Alcotest.test_case "live /metrics scrape during a replay" `Quick
+      test_live_scrape_during_replay;
+    Alcotest.test_case "dark telemetry path allocates nothing" `Quick
+      test_telemetry_dark_zero_alloc;
     Alcotest.test_case "maximize copies the graph" `Quick test_maximize_leaves_epoch_intact;
   ]
