@@ -288,6 +288,34 @@ let test_csr_decompose_par2 =
          Par.set_domains 2;
          ignore (Truss.Decompose.run ~impl:`Csr (Lazy.force kernel_graph))))
 
+(* 4-worker variants of the round-synchronized peel paths and the
+   speculative g-sweep.  On a single-CPU host these bound the parallel
+   machinery's overhead rather than showing speedup; the perf gate records
+   them so either direction of drift is visible. *)
+let test_csr_decompose_par4 =
+  Test.make ~name:(kname "csr_decompose_par4")
+    (Staged.stage (fun () ->
+         Par.set_domains 4;
+         ignore (Truss.Decompose.run ~impl:`Csr (Lazy.force kernel_graph))))
+
+let test_onion_peel_par4 =
+  Test.make ~name:(kname "onion_peel_par4")
+    (Staged.stage (fun () ->
+         Par.set_domains 4;
+         match Lazy.force kernel_onion with
+         | None -> ()
+         | Some (h, kd, comp) ->
+           ignore (Truss.Onion.peel ~impl:`Csr ~h ~k:kd ~candidates:comp ())))
+
+let test_flow_sweep_par4 =
+  Test.make ~name:(kname "flow_sweep_par4")
+    (Staged.stage (fun () ->
+         Par.set_domains 4;
+         match Lazy.force kernel_dag with
+         | None -> ()
+         | Some dag ->
+           ignore (Maxtruss.Flow_plan.sweep ~impl:`Parametric ~dag ~w1:1 ~w2:1 ~probes:10 ())))
+
 (* One kernel's multi-sample measurement: Bechamel's raw linear-regression
    samples, normalized per run, feed the median/MAD baseline statistics
    (Perf_baseline) while the OLS estimate keeps the familiar printed
@@ -335,6 +363,9 @@ let benchmark ?(quota_s = 1.0) () =
       test_serve_replay;
       test_csr_support_par2;
       test_csr_decompose_par2;
+      test_csr_decompose_par4;
+      test_onion_peel_par4;
+      test_flow_sweep_par4;
     ]
   in
   let instances =

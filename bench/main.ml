@@ -190,9 +190,9 @@ let () =
       parse only rest
     | "--domains" :: v :: rest ->
       (match int_of_string_opt v with
-      | Some n when n >= 1 -> Par.set_domains n
+      | Some n when n >= 0 -> Par.set_domains n (* 0 = auto-size from the hardware *)
       | _ ->
-        Printf.eprintf "--domains expects a positive integer, got %S\n" v;
+        Printf.eprintf "--domains expects a non-negative integer (0 = auto), got %S\n" v;
         exit 2);
       parse only rest
     | [ ("--record" | "--check" | "--tol" | "--kmad" | "--alloc-tol" | "--quota"

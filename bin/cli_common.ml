@@ -51,12 +51,15 @@ let seed_arg =
 
 let domains_arg =
   let doc =
-    "Worker domains for the parallel kernels (default: $(b,MAXTRUSS_DOMAINS) or 1). \
+    "Worker domains for the parallel kernels (default: $(b,MAXTRUSS_DOMAINS) or 1); \
+     $(docv) = 0 auto-sizes from the machine's available cores (clamped to 64). \
      Results are identical at any domain count."
   in
-  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
-let apply_domains n = if n > 0 then Par.set_domains n
+(* Absent means "leave whatever MAXTRUSS_DOMAINS resolves to"; an explicit
+   value — 0 included — goes to the pool ([Par.set_domains 0] auto-sizes). *)
+let apply_domains = function None -> () | Some n -> Par.set_domains n
 
 let g_probes_arg =
   let doc =

@@ -6,8 +6,11 @@ let c_triangles = Obs.Counter.make "support.triangles_enumerated"
 
 (* Below this many edges the per-domain scratch arrays cost more than the
    enumeration they split; the cutoff only switches execution strategy,
-   never the result. *)
-let par_cutoff = 4096
+   never the result.  This call site keeps the coarse default grain: the
+   merge pass costs chunks * m, so unlike the peel rounds it wants as FEW
+   chunks as possible — exactly [Par.domains ()], statically balanced by
+   oriented out-degree rather than grain-sliced. *)
+let par_cutoff = Par.default_grain
 
 let all_csr csr =
   let m = Csr.num_edges csr in
@@ -15,7 +18,7 @@ let all_csr csr =
   (* Each triangle is enumerated exactly once by the degree orientation;
      scatter +1 to its three edge ids. *)
   let d = Par.domains () in
-  if d <= 1 || m < par_cutoff then
+  if (not (Par.available ())) || m < par_cutoff then
     Csr.iter_triangles csr (fun e1 e2 e3 ->
         sup.(e1) <- sup.(e1) + 1;
         sup.(e2) <- sup.(e2) + 1;

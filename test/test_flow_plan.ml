@@ -169,6 +169,53 @@ let prop_parametric_sweep_matches_rebuild =
           with_domains domains @@ fun () -> sweep_all `Parametric = sweep_all `Rebuild)
         [ 1; 4 ])
 
+(* Speculative probes: with a multi-domain pool and the sweep on the main
+   domain, each bisection round prefetches its would-be child probes on
+   cloned engines.  The committed probe sequence is untouched, so the
+   selections must be bit-identical to the 1-domain sweep at every pool
+   size — including the odd counts, where the look-ahead set doesn't divide
+   evenly across workers. *)
+let test_speculative_sweep_identical () =
+  let dag = build_fig1_dag () in
+  let fingerprints d =
+    with_domains d @@ fun () ->
+    List.concat_map
+      (fun (w1, w2) ->
+        List.map selection_fingerprint (Flow_plan.sweep ~dag ~w1 ~w2 ~probes:10 ()))
+      [ (1, 1); (1, 10) ]
+  in
+  let seq = fingerprints 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "selections identical at %d domains" d)
+        true
+        (fingerprints d = seq))
+    [ 2; 3; 4; 5 ]
+
+(* ... and the speculation must actually happen: look-ahead solves launched
+   on clones, committed probes answered from the prefetch cache. *)
+let test_speculative_sweep_counters () =
+  let dag = build_fig1_dag () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  with_domains 4 @@ fun () ->
+  ignore (Flow_plan.sweep ~dag ~w1:1 ~w2:10 ~probes:10 ());
+  let v name = Option.value ~default:0 (List.assoc_opt name (Obs.counters ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "speculative solves launched (got %d)" (v "flow_plan.spec_probes"))
+    true
+    (v "flow_plan.spec_probes" > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "probes served from the prefetch cache (got %d)"
+       (v "flow_plan.spec_hits"))
+    true
+    (v "flow_plan.spec_hits" > 0)
+
 let suite =
   [
     Alcotest.test_case "g=0 anchors all" `Quick test_g_zero_anchors_all;
@@ -180,4 +227,8 @@ let suite =
     Helpers.qtest prop_lemma1_random;
     Helpers.qtest prop_h_score_consistent;
     Helpers.qtest prop_parametric_sweep_matches_rebuild;
+    Alcotest.test_case "speculative sweep identical (1 vs 2/3/4/5 domains)" `Quick
+      test_speculative_sweep_identical;
+    Alcotest.test_case "speculative sweep counters" `Quick
+      test_speculative_sweep_counters;
   ]

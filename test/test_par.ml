@@ -101,6 +101,88 @@ let test_nested_region_falls_back () =
     (Array.init 6 (fun i -> (50 * i) + 10))
     results
 
+(* --- work stealing and grain-chunked ranges --- *)
+
+let test_steal_tasks_order () =
+  with_domains 4 @@ fun () ->
+  let fs = Array.init 37 (fun i () -> (i * 3) + 1) in
+  Alcotest.(check (array int))
+    "results land at their task index"
+    (Array.init 37 (fun i -> (i * 3) + 1))
+    (Par.steal_tasks fs)
+
+let test_steal_tasks_skewed () =
+  with_domains 3 @@ fun () ->
+  (* one task dwarfs the rest — the shape stealing exists for; every
+     result must still land at its own index *)
+  let work n =
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := !acc + (i mod 7)
+    done;
+    !acc
+  in
+  let costs = Array.init 24 (fun i -> if i = 1 then 2_000_000 else 1_000) in
+  Alcotest.(check (array int))
+    "skewed results correct" (Array.map work costs)
+    (Par.steal_tasks (Array.map (fun c () -> work c) costs))
+
+let test_steal_tasks_exception () =
+  with_domains 4 @@ fun () ->
+  (match Par.steal_tasks (Array.init 9 (fun i () -> if i >= 4 then raise (Boom i) else i)) with
+  | _ -> Alcotest.fail "expected Boom to propagate"
+  | exception Boom i -> Alcotest.(check int) "lowest-indexed task's exception wins" 4 i);
+  Alcotest.(check (array int)) "pool usable after exception" [| 5; 6 |]
+    (Par.steal_tasks [| (fun () -> 5); (fun () -> 6) |])
+
+let test_steal_nested_falls_back () =
+  with_domains 4 @@ fun () ->
+  let results =
+    Par.steal_tasks
+      (Array.init 6 (fun i () ->
+           Array.fold_left ( + ) 0 (Par.steal_tasks (Array.init 5 (fun j () -> (10 * i) + j)))))
+  in
+  Alcotest.(check (array int))
+    "nested results correct"
+    (Array.init 6 (fun i -> (50 * i) + 10))
+    results
+
+let test_map_range () =
+  with_domains 4 @@ fun () ->
+  let n = 100_000 in
+  let out = Array.make n 0 in
+  let chunks =
+    Par.map_range ~grain:1000 ~n (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(i) <- 3 * i
+        done;
+        (lo, hi))
+  in
+  let ok = ref true in
+  Array.iteri (fun i v -> if v <> 3 * i then ok := false) out;
+  Alcotest.(check bool) "every index written by its chunk" true !ok;
+  (* per-chunk results arrive in chunk order and tile [0, n) *)
+  let covered = ref 0 in
+  Array.iter
+    (fun (lo, hi) ->
+      if lo <> !covered || hi <= lo then ok := false;
+      covered := hi)
+    chunks;
+  Alcotest.(check bool) "chunk results tile in order" true (!ok && !covered = n);
+  Alcotest.(check bool) "range actually split" true (Array.length chunks > 1);
+  Alcotest.(check int) "inline below the grain" 1
+    (Array.length (Par.map_range ~grain:4096 ~n:100 (fun lo hi -> hi - lo)))
+
+let test_domains_auto () =
+  let saved = Par.domains () in
+  Fun.protect ~finally:(fun () -> Par.set_domains saved) @@ fun () ->
+  Par.set_domains 0;
+  let d = Par.domains () in
+  Alcotest.(check bool)
+    (Printf.sprintf "auto-sized pool in [1, 64] (got %d)" d)
+    true
+    (d >= 1 && d <= 64)
+
 (* --- sequential/parallel agreement on the truss kernels --- *)
 
 let sorted_bindings tbl =
@@ -123,13 +205,16 @@ let kernel_fingerprint g =
   (sup, truss, sorted_bindings onion.Truss.Onion.layer, onion.Truss.Onion.max_layer)
 
 let prop_kernel_agreement =
-  QCheck2.Test.make ~name:"support/trussness/onion identical at 1 vs 4 domains" ~count:30
+  QCheck2.Test.make ~name:"support/trussness/onion identical at 1 vs 3/4/5 domains"
+    ~count:30
     (Helpers.random_graph_gen ~max_n:14 ())
     (fun edges ->
       QCheck2.assume (edges <> []);
       let seq = with_domains 1 @@ fun () -> kernel_fingerprint (Graph.of_edges edges) in
-      let par = with_domains 4 @@ fun () -> kernel_fingerprint (Graph.of_edges edges) in
-      seq = par)
+      List.for_all
+        (fun d ->
+          (with_domains d @@ fun () -> kernel_fingerprint (Graph.of_edges edges)) = seq)
+        [ 3; 4; 5 ])
 
 (* Large enough to cross the kernels' sequential cutoff (m >= 4096), so the
    4-domain run genuinely forks. *)
@@ -145,6 +230,52 @@ let test_big_graph_agreement () =
   let par = with_domains 4 @@ fun () -> kernel_fingerprint (build ()) in
   Alcotest.(check bool) "fingerprints identical" true (seq = par)
 
+(* Skewed fixture: heavier per-node attachment and stronger clustering than
+   the big-graph fixture, so peel frontiers concentrate into a few fat
+   rounds with uneven triangle counts per edge — the tail the work-stealing
+   deques exist for.  Odd domain counts make chunk boundaries land
+   differently from the power-of-two runs above. *)
+let test_skewed_graph_agreement () =
+  let build () =
+    let rng = Rng.create 99 in
+    Gen.powerlaw_cluster ~rng ~n:900 ~m:8 ~p:0.9
+  in
+  let g = build () in
+  Alcotest.(check bool) "fixture crosses the parallel cutoff" true
+    (Graph.num_edges g > 4096);
+  let seq = with_domains 1 @@ fun () -> kernel_fingerprint (build ()) in
+  List.iter
+    (fun d ->
+      let par = with_domains d @@ fun () -> kernel_fingerprint (build ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "fingerprints identical at %d domains" d)
+        true (par = seq))
+    [ 3; 5 ]
+
+(* The decompose above must actually run on the pool: par.tasks counts
+   forked regions, so a zero here means the parallel path silently fell
+   back to sequential and the agreement tests prove nothing. *)
+let test_peel_runs_on_pool () =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+  @@ fun () ->
+  with_domains 3 @@ fun () ->
+  let rng = Rng.create 7 in
+  let g = Gen.powerlaw_cluster ~rng ~n:1500 ~m:4 ~p:0.4 in
+  ignore (Truss.Decompose.run g);
+  (match List.assoc_opt "par.tasks" (Obs.counters ()) with
+  | Some n ->
+    Alcotest.(check bool) (Printf.sprintf "par.tasks > 0 (got %d)" n) true (n > 0)
+  | None -> Alcotest.fail "par.tasks not registered");
+  Alcotest.(check (option int))
+    "par.pool_size gauge reflects the pool" (Some 3)
+    (match List.assoc_opt "par.pool_size" (Obs.gauges ()) with
+    | Some v -> Some (int_of_float v)
+    | None -> None)
+
 let outcome_fingerprint (r : Maxtruss.Pcfr.result) =
   ( r.Maxtruss.Pcfr.outcome.Maxtruss.Outcome.score,
     r.Maxtruss.Pcfr.outcome.Maxtruss.Outcome.inserted,
@@ -153,14 +284,16 @@ let outcome_fingerprint (r : Maxtruss.Pcfr.result) =
       r.Maxtruss.Pcfr.levels )
 
 let prop_pcfr_agreement =
-  QCheck2.Test.make ~name:"PCFR plans and scores identical at 1 vs 4 domains" ~count:8
+  QCheck2.Test.make ~name:"PCFR plans and scores identical at 1 vs 3/4/5 domains"
+    ~count:8
     (Helpers.clustered_graph_gen ())
     (fun edges ->
       QCheck2.assume (edges <> []);
       let run () = Maxtruss.Pcfr.pcfr ~seed:11 ~g:(Graph.of_edges edges) ~k:4 ~budget:6 () in
       let seq = with_domains 1 @@ fun () -> outcome_fingerprint (run ()) in
-      let par = with_domains 4 @@ fun () -> outcome_fingerprint (run ()) in
-      seq = par)
+      List.for_all
+        (fun d -> (with_domains d @@ fun () -> outcome_fingerprint (run ())) = seq)
+        [ 3; 4; 5 ])
 
 (* --- Obs under domains --- *)
 
@@ -220,9 +353,19 @@ let suite =
     Alcotest.test_case "parallel_for covers the range" `Quick test_parallel_for;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "nested regions fall back" `Quick test_nested_region_falls_back;
+    Alcotest.test_case "steal_tasks result order" `Quick test_steal_tasks_order;
+    Alcotest.test_case "steal_tasks skewed costs" `Quick test_steal_tasks_skewed;
+    Alcotest.test_case "steal_tasks exception propagation" `Quick
+      test_steal_tasks_exception;
+    Alcotest.test_case "nested steal_tasks fall back" `Quick test_steal_nested_falls_back;
+    Alcotest.test_case "map_range tiles and orders chunks" `Quick test_map_range;
+    Alcotest.test_case "set_domains 0 auto-sizes" `Quick test_domains_auto;
     Helpers.qtest prop_kernel_agreement;
     Alcotest.test_case "big-graph agreement (1 vs 4 domains)" `Quick
       test_big_graph_agreement;
+    Alcotest.test_case "skewed-graph agreement (1 vs 3/5 domains)" `Quick
+      test_skewed_graph_agreement;
+    Alcotest.test_case "parallel peel forks the pool" `Quick test_peel_runs_on_pool;
     Helpers.qtest prop_pcfr_agreement;
     Alcotest.test_case "4-domain counter hammer" `Quick test_counter_hammer;
     Alcotest.test_case "disabled obs allocation-free with pool live" `Quick
